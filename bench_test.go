@@ -1,0 +1,477 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus the DESIGN.md ablations. Each benchmark both
+// measures the harness and reports the experiment's headline numbers
+// as custom metrics, so `go test -bench=. -benchmem` doubles as the
+// reproduction run. EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package rtoffload_test
+
+import (
+	"testing"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/exp"
+	"rtoffload/internal/partition"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// benchCaseConfig trims probe counts so a single iteration stays in
+// the hundreds of milliseconds without changing the calibration.
+func benchCaseConfig() exp.CaseStudyConfig {
+	cfg := exp.DefaultCaseStudyConfig()
+	cfg.Probes = 150
+	return cfg
+}
+
+// BenchmarkTable1 regenerates Table 1: the PSNR benefit ladders and
+// probed response budgets of the four robot-vision tasks.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(benchCaseConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: 24 work sets × 3 scenarios of
+// the case study. The scenario means are reported as custom metrics
+// (the paper's headline: busy ≈ baseline, idle ≫ baseline).
+func BenchmarkFigure2(b *testing.B) {
+	var res *exp.Figure2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Figure2(benchCaseConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res != nil {
+		for _, s := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
+			vals := res.Series(s)
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			b.ReportMetric(sum/float64(len(vals)), "norm-"+s.String())
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the estimation-accuracy sweep
+// for DP and HEU-OE. The extreme and centre points are reported as
+// custom metrics.
+func BenchmarkFigure3(b *testing.B) {
+	cfg := exp.DefaultFigure3Config()
+	cfg.Trials = 5
+	var res *exp.Figure3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res != nil {
+		dp := res.Series(core.SolverDP)
+		heu := res.Series(core.SolverHEU)
+		b.ReportMetric(dp[0], "dp-xneg40")
+		b.ReportMetric(dp[4], "dp-x0")
+		b.ReportMetric(dp[len(dp)-1], "dp-xpos40")
+		b.ReportMetric(heu[4], "heu-x0")
+	}
+}
+
+// BenchmarkAblationSolvers compares decision quality of DP, HEU-OE and
+// the naive greedy on the paper's random task sets (ablation B).
+func BenchmarkAblationSolvers(b *testing.B) {
+	var rows []exp.SolverAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.SolverAblation(1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanQuality, "quality-"+r.Solver.String())
+	}
+}
+
+// BenchmarkAblationNaiveEDF compares the paper's deadline splitting
+// against naive EDF under an adversarial server (ablation A).
+func BenchmarkAblationNaiveEDF(b *testing.B) {
+	var rows []exp.NaiveEDFAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.NaiveEDFAblation(7, []float64{0.6, 0.8, 0.95}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.SplitMissRate, "split-missrate@95")
+		b.ReportMetric(last.NaiveMissRate, "naive-missrate@95")
+	}
+}
+
+// BenchmarkAblationDBF compares the Theorem-3 admission test against
+// the exact QPA test over the split dbf (ablation C).
+func BenchmarkAblationDBF(b *testing.B) {
+	var rows []exp.DBFAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.DBFAblation(11, []float64{0.8, 1.1}, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Systems == 0 {
+			continue
+		}
+		b.ReportMetric(float64(r.Theorem3Accepted)/float64(r.Systems), "thm3-accept")
+		b.ReportMetric(float64(r.ExactAccepted)/float64(r.Systems), "exact-accept")
+	}
+}
+
+// BenchmarkDecideDP measures one Offloading Decision Manager run with
+// the pseudo-polynomial DP on the paper's 30-task configuration.
+func BenchmarkDecideDP(b *testing.B) {
+	set, err := task.GenerateFigure3(stats.NewRNG(3), task.DefaultFigure3Params())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decide(set, core.Options{Solver: core.SolverDP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecideHEU measures the HEU-OE heuristic on the same
+// configuration — the paper's fast alternative.
+func BenchmarkDecideHEU(b *testing.B) {
+	set, err := task.GenerateFigure3(stats.NewRNG(3), task.DefaultFigure3Params())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decide(set, core.Options{Solver: core.SolverHEU}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEDFSimulator measures scheduler throughput: a 30-task
+// system over a 60 s horizon (~3000 jobs) with offloading and
+// compensation paths exercised.
+func BenchmarkEDFSimulator(b *testing.B) {
+	rng := stats.NewRNG(5)
+	set, err := task.GenerateFigure3(rng.Fork(), task.DefaultFigure3Params())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.Decide(set, core.Options{Solver: core.SolverDP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	asgs := dec.Assignments()
+	var jobs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(sched.Config{
+			Assignments: asgs,
+			Server:      server.Fixed{Latency: rtime.FromMillis(150)},
+			Horizon:     rtime.FromSeconds(60),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 {
+			b.Fatalf("%d misses", res.Misses)
+		}
+		jobs = len(res.Jobs)
+	}
+	b.ReportMetric(float64(jobs), "jobs/run")
+}
+
+// BenchmarkTheorem3 measures the exact rational schedulability test on
+// a 30-task system.
+func BenchmarkTheorem3(b *testing.B) {
+	rng := stats.NewRNG(9)
+	var off []dbf.Offloaded
+	var loc []dbf.Sporadic
+	for i := 0; i < 15; i++ {
+		period := rtime.FromMillis(rng.UniformInt(100, 700))
+		c := rtime.Duration(rng.Int64N(int64(period/80))) + 1
+		o, err := dbf.NewOffloaded(c, c, period, period, period/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		off = append(off, o)
+		s, err := dbf.NewSporadic(c, period, period)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loc = append(loc, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := dbf.Theorem3(off, loc); !ok {
+			b.Fatal("unexpected rejection")
+		}
+	}
+}
+
+// BenchmarkQPA measures the exact processor-demand test on the same
+// system — the tighter admission alternative.
+func BenchmarkQPA(b *testing.B) {
+	rng := stats.NewRNG(9)
+	var ds []dbf.Demand
+	for i := 0; i < 15; i++ {
+		period := rtime.FromMillis(rng.UniformInt(100, 700))
+		c := rtime.Duration(rng.Int64N(int64(period/80))) + 1
+		o, err := dbf.NewOffloaded(c, c, period, period, period/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := dbf.NewSporadic(c, period, period)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds = append(ds, o, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dbf.QPA(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactUpgrade measures the QPA-driven upgrade pass on random
+// sets with large response budgets (where Theorem 3 is pessimistic)
+// and reports the mean benefit gain over the Theorem-3 decision.
+func BenchmarkExactUpgrade(b *testing.B) {
+	p := task.DefaultRandomSetParams()
+	p.N = 8
+	p.TotalUtil = 0.5
+	p.RespLoFrac = 0.3
+	p.RespHiFrac = 0.8
+	gain := 0.0
+	count := 0
+	for i := 0; i < b.N; i++ {
+		rng := stats.NewRNG(uint64(i) + 1)
+		set, err := task.GenerateRandomSet(rng, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := core.Decide(set, core.Options{Solver: core.SolverDP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		improved, err := core.ImproveWithExact(base, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if base.TotalExpected > 0 {
+			gain += improved.TotalExpected / base.TotalExpected
+			count++
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(gain/float64(count), "gain-vs-thm3")
+	}
+}
+
+// BenchmarkPartitionScaling measures partitioned decisions across core
+// counts and reports the benefit scaling (8 heavy tasks).
+func BenchmarkPartitionScaling(b *testing.B) {
+	var set task.Set
+	for i := 0; i < 8; i++ {
+		period := rtime.FromMillis(400)
+		set = append(set, &task.Task{
+			ID: i, Period: period, Deadline: period,
+			LocalWCET: rtime.FromMillis(140), Setup: rtime.FromMillis(4),
+			Compensation: rtime.FromMillis(140), LocalBenefit: 1,
+			Levels: []task.Level{
+				{Response: rtime.FromMillis(60), Benefit: 3},
+				{Response: rtime.FromMillis(150), Benefit: 8},
+			},
+		})
+	}
+	results := map[int]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cores := range []int{4, 8} {
+			d, err := partition.Decide(set, partition.Options{
+				Cores: cores, Core: core.Options{Solver: core.SolverDP},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[cores] = d.TotalExpected
+		}
+	}
+	b.ReportMetric(results[4], "benefit-4cores")
+	b.ReportMetric(results[8], "benefit-8cores")
+}
+
+// BenchmarkBaselineServerFaster contrasts the related-work greedy
+// baseline with the paper's decision on a workload where greedy
+// over-commits: it reports each policy's deadline-miss count under an
+// adversarial server.
+func BenchmarkBaselineServerFaster(b *testing.B) {
+	var set task.Set
+	for i := 0; i < 3; i++ {
+		period := rtime.FromMillis(100)
+		set = append(set, &task.Task{
+			ID: i, Period: period, Deadline: period,
+			LocalWCET: rtime.FromMillis(30), Setup: rtime.FromMillis(5),
+			Compensation: rtime.FromMillis(30), LocalBenefit: 1,
+			Levels: []task.Level{
+				{Response: rtime.FromMillis(20), Benefit: 9},
+			},
+		})
+	}
+	var greedyMisses, paperMisses int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		greedy, err := core.DecideServerFaster(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sched.Run(sched.Config{
+			Assignments: greedy.Assignments(),
+			Server:      server.Fixed{Lost: true},
+			Horizon:     rtime.FromSeconds(1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedyMisses = res.Misses
+		paper, err := core.Decide(set, core.Options{Solver: core.SolverDP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = sched.Run(sched.Config{
+			Assignments: paper.Assignments(),
+			Server:      server.Fixed{Lost: true},
+			Horizon:     rtime.FromSeconds(1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		paperMisses = res.Misses
+	}
+	b.ReportMetric(float64(greedyMisses), "greedy-misses")
+	b.ReportMetric(float64(paperMisses), "paper-misses")
+}
+
+// BenchmarkAblationFP compares admission rates of the FP baselines
+// (suspension-oblivious / suspension-jitter RTA) against the paper's
+// EDF deadline-splitting tests (ablation D).
+func BenchmarkAblationFP(b *testing.B) {
+	var rows []exp.FPAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.FPAblation(13, []float64{0.4, 0.6, 0.8}, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var obl, jit, thm, exact, systems int
+	for _, r := range rows {
+		obl += r.FPOblivious
+		jit += r.FPJitter
+		thm += r.EDFTheorem3
+		exact += r.EDFExact
+		systems += r.Systems
+	}
+	if systems > 0 {
+		n := float64(systems)
+		b.ReportMetric(float64(obl)/n, "accept-fp-oblivious")
+		b.ReportMetric(float64(jit)/n, "accept-fp-jitter")
+		b.ReportMetric(float64(thm)/n, "accept-edf-thm3")
+		b.ReportMetric(float64(exact)/n, "accept-edf-exact")
+	}
+}
+
+// BenchmarkEnergyStudy quantifies the intro's energy motivation:
+// client-energy savings of the case-study configuration per scenario
+// against the all-local baseline.
+func BenchmarkEnergyStudy(b *testing.B) {
+	var rows []exp.EnergyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.EnergyStudy(benchCaseConfig(), exp.DefaultPowerModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Savings, "savings-"+r.Scenario.String())
+	}
+}
+
+// BenchmarkAdaptive measures the epoch-based adaptive controller on a
+// bursty Gilbert server and reports its benefit against freezing the
+// first decision.
+func BenchmarkAdaptive(b *testing.B) {
+	ms := rtime.FromMillis
+	mkSet := func() task.Set {
+		var set task.Set
+		for i := 1; i <= 2; i++ {
+			set = append(set, &task.Task{
+				ID: i, Period: ms(200), Deadline: ms(200),
+				LocalWCET: ms(40), Setup: ms(3), Compensation: ms(40),
+				LocalBenefit: 1,
+				Levels: []task.Level{
+					{Response: ms(20), Benefit: 6, PayloadBytes: 1000},
+					{Response: ms(60), Benefit: 6.5, PayloadBytes: 1000},
+				},
+			})
+		}
+		return set
+	}
+	gcfg := server.GilbertConfig{
+		GoodDuration: rtime.FromSeconds(4), BadDuration: rtime.FromSeconds(4),
+		GoodLatency: ms(8), BadLatency: ms(120), Sigma: 0.1,
+	}
+	var adaptive float64
+	for i := 0; i < b.N; i++ {
+		srv, err := server.NewGilbert(stats.NewRNG(33), gcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochs, err := core.AdaptiveRun(mkSet(), srv, core.AdaptiveConfig{
+			Epoch:     rtime.FromSeconds(2),
+			Epochs:    10,
+			Estimator: core.EstimatorConfig{Probes: 12, Spacing: ms(5), Quantile: 0.9},
+			Solver:    core.SolverDP,
+		}, stats.NewRNG(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		adaptive = 0
+		for _, e := range epochs {
+			if e.Sim.Misses != 0 {
+				b.Fatal("adaptive epoch missed deadlines")
+			}
+			adaptive += e.Sim.TotalBenefit
+		}
+	}
+	b.ReportMetric(adaptive, "adaptive-benefit")
+}

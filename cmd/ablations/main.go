@@ -1,0 +1,128 @@
+// Command ablations runs every design-choice ablation of DESIGN.md and
+// prints the tables: deadline splitting vs naive EDF (A), MCKP solver
+// quality (B), Theorem 3 vs exact demand analysis (C), EDF vs fixed
+// priorities (D), the related-work greedy baseline (E), and the
+// client-energy study.
+//
+// Usage:
+//
+//	ablations [-seed N] [-per N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtoffload/internal/exp"
+)
+
+func main() {
+	var (
+		seed = flag.Uint64("seed", 7, "deterministic seed")
+		per  = flag.Int("per", 40, "systems per load level")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("A — deadline splitting vs naive EDF (adversarial server, miss rate per load)")
+	edfRows, err := exp.NaiveEDFAblation(*seed, []float64{0.5, 0.7, 0.85, 0.95}, *per)
+	if err != nil {
+		fail(err)
+	}
+	var rows [][]string
+	for _, r := range edfRows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", r.TargetLoad),
+			fmt.Sprintf("%d", r.Systems),
+			fmt.Sprintf("%.2f", r.SplitMissRate),
+			fmt.Sprintf("%.2f", r.NaiveMissRate),
+		})
+	}
+	if err := exp.WriteTable(os.Stdout, []string{"Load", "Systems", "Split", "Naive"}, rows); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("\nB — MCKP solver quality (relative to DP, paper's 30-task sets)")
+	solRows, err := exp.SolverAblation(*seed, *per)
+	if err != nil {
+		fail(err)
+	}
+	rows = nil
+	for _, r := range solRows {
+		rows = append(rows, []string{
+			r.Solver.String(),
+			fmt.Sprintf("%.4f", r.MeanQuality),
+			fmt.Sprintf("%.4f", r.WorstQuality),
+		})
+	}
+	if err := exp.WriteTable(os.Stdout, []string{"Solver", "Mean", "Worst"}, rows); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("\nC — Theorem 3 vs exact demand analysis (acceptance per load)")
+	dbfRows, err := exp.DBFAblation(*seed, []float64{0.6, 0.8, 1.0, 1.2}, *per)
+	if err != nil {
+		fail(err)
+	}
+	rows = nil
+	for _, r := range dbfRows {
+		if r.Systems == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", r.TargetLoad),
+			fmt.Sprintf("%d", r.Systems),
+			fmt.Sprintf("%d", r.Theorem3Accepted),
+			fmt.Sprintf("%d", r.ExactAccepted),
+		})
+	}
+	if err := exp.WriteTable(os.Stdout, []string{"Load", "Systems", "Theorem3", "Exact"}, rows); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("\nD — fixed priorities vs the paper's EDF (acceptance per load)")
+	fpRows, err := exp.FPAblation(*seed, []float64{0.4, 0.6, 0.8}, *per)
+	if err != nil {
+		fail(err)
+	}
+	rows = nil
+	for _, r := range fpRows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", r.TargetLoad),
+			fmt.Sprintf("%d", r.Systems),
+			fmt.Sprintf("%d", r.FPOblivious),
+			fmt.Sprintf("%d", r.FPJitter),
+			fmt.Sprintf("%d", r.EDFTheorem3),
+			fmt.Sprintf("%d", r.EDFExact),
+		})
+	}
+	if err := exp.WriteTable(os.Stdout,
+		[]string{"Load", "Systems", "FP-obl", "FP-jit", "EDF-Thm3", "EDF-exact"}, rows); err != nil {
+		fail(err)
+	}
+
+	fmt.Println("\nEnergy — client energy vs all-local execution (case study)")
+	eRows, err := exp.EnergyStudy(exp.DefaultCaseStudyConfig(), exp.DefaultPowerModel())
+	if err != nil {
+		fail(err)
+	}
+	rows = nil
+	for _, r := range eRows {
+		rows = append(rows, []string{
+			r.Scenario.String(),
+			fmt.Sprintf("%.3f J", r.Offload.Joules),
+			fmt.Sprintf("%.3f J", r.Local.Joules),
+			fmt.Sprintf("%+.1f%%", r.Savings*100),
+			fmt.Sprintf("%d/%d", r.Hits, r.Hits+r.Comps),
+		})
+	}
+	if err := exp.WriteTable(os.Stdout,
+		[]string{"Scenario", "Offload", "All-local", "Savings", "Hits"}, rows); err != nil {
+		fail(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Command accuracysim regenerates the paper's Figure 3: the normalized
+// total benefit achieved by the DP and HEU-OE deciders when the
+// Benefit and Response Time Estimator suffers an estimation-accuracy
+// ratio x, i.e. it sees G((1+x)·ri) instead of G(ri).
+//
+// Usage:
+//
+//	accuracysim [-seed N] [-trials N] [-simulate] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/exp"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "deterministic experiment seed")
+		trials   = flag.Int("trials", 20, "random 30-task sets averaged per ratio")
+		simulate = flag.Bool("simulate", false, "additionally validate each decision in the EDF simulator")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		interp   = flag.String("interp", "budget-shift", "error model: budget-shift | value-shift (two readings of G((1+x)·ri))")
+		chart    = flag.Bool("chart", false, "also draw Figure 3 as an ASCII chart")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultFigure3Config()
+	cfg.Seed = *seed
+	cfg.Trials = *trials
+	cfg.Simulate = *simulate
+	switch *interp {
+	case "budget-shift":
+		cfg.Interpretation = exp.BudgetShift
+	case "value-shift":
+		cfg.Interpretation = exp.ValueShift
+	default:
+		fmt.Fprintf(os.Stderr, "accuracysim: unknown interpretation %q\n", *interp)
+		os.Exit(2)
+	}
+
+	res, err := exp.Figure3(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accuracysim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 3: normalized total benefit vs estimation accuracy ratio (%d trials, normalized to DP at x=0)\n", cfg.Trials)
+	if *csv {
+		var rows [][]string
+		dp := res.Series(core.SolverDP)
+		heu := res.Series(core.SolverHEU)
+		for i, x := range cfg.Ratios {
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", x), fmt.Sprintf("%.4f", dp[i]), fmt.Sprintf("%.4f", heu[i]),
+			})
+		}
+		if err := exp.WriteCSV(os.Stdout, []string{"x", "dp", "heu"}, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "accuracysim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := exp.RenderFigure3(os.Stdout, res); err != nil {
+		fmt.Fprintln(os.Stderr, "accuracysim:", err)
+		os.Exit(1)
+	}
+	if *chart {
+		fmt.Println()
+		if err := exp.ChartFigure3(os.Stdout, res, cfg.Ratios, 14); err != nil {
+			fmt.Fprintln(os.Stderr, "accuracysim:", err)
+			os.Exit(1)
+		}
+	}
+	if *simulate {
+		fmt.Println("\nsimulation-validated values (in-time fraction scoring):")
+		for _, p := range res.Points {
+			fmt.Printf("x=%+.1f %-10s analytic %.4f simulated %.4f\n", p.Ratio, p.Solver, p.Normalized, p.SimNormalized)
+		}
+	}
+}

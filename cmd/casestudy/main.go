@@ -1,0 +1,130 @@
+// Command casestudy regenerates the paper's case-study artifacts:
+// Table 1 (the benefit functions of the four robot-vision tasks) and
+// Figure 2 (normalized total weighted image quality over 24 work sets
+// under three server scenarios).
+//
+// Usage:
+//
+//	casestudy [-seed N] [-horizon SECONDS] [-solver dp|heu] [-csv] [-table1] [-figure2]
+//
+// With neither -table1 nor -figure2, both are produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/exp"
+	"rtoffload/internal/server"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "deterministic experiment seed")
+		horizon = flag.Float64("horizon", 10, "measurement window in seconds (paper: 10)")
+		solver  = flag.String("solver", "dp", "decision solver: dp | heu")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		t1      = flag.Bool("table1", false, "produce Table 1 only")
+		f2      = flag.Bool("figure2", false, "produce Figure 2 only")
+		multi   = flag.Int("multiseed", 0, "additionally report Figure-2 scenario means over N seeds with 95% CIs")
+		latency = flag.Bool("latency", false, "produce the per-task response-time profile instead")
+		chart   = flag.Bool("chart", false, "also draw Figure 2 as an ASCII chart")
+	)
+	flag.Parse()
+
+	cfg := exp.DefaultCaseStudyConfig()
+	cfg.Seed = *seed
+	cfg.HorizonSeconds = *horizon
+	switch *solver {
+	case "dp":
+		cfg.Solver = core.SolverDP
+	case "heu":
+		cfg.Solver = core.SolverHEU
+	default:
+		fmt.Fprintf(os.Stderr, "casestudy: unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+	if *latency {
+		rows, err := exp.LatencyStudy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Response-time profile per scenario (all worst cases bounded by the deadlines):")
+		if err := exp.RenderLatency(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	doTable := *t1 || !*f2
+	doFigure := *f2 || !*t1
+
+	if doTable {
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 1: construction of Gi(ri) (PSNR benefit per probed response budget)")
+		if *csv {
+			var out [][]string
+			for _, r := range rows {
+				cells := []string{r.Task, fmt.Sprintf("%.4f", r.LocalPSNR)}
+				for j := range r.Budgets {
+					cells = append(cells, fmt.Sprintf("%.3f", r.Budgets[j].Millis()), fmt.Sprintf("%.4f", r.PSNRs[j]))
+				}
+				out = append(out, cells)
+			}
+			if err := exp.WriteCSV(os.Stdout, []string{"task", "G0", "r2", "G2", "r3", "G3", "r4", "G4", "r5", "G5"}, out); err != nil {
+				fatal(err)
+			}
+		} else if err := exp.RenderTable1(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if doFigure {
+		res, err := exp.Figure2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Figure 2: normalized total weighted image quality, %gs horizon (normalized to the all-local baseline)\n", cfg.HorizonSeconds)
+		if err := exp.RenderFigure2(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		if *chart {
+			fmt.Println()
+			if err := exp.ChartFigure2(os.Stdout, res, 16); err != nil {
+				fatal(err)
+			}
+		}
+		for _, s := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
+			series := res.Series(s)
+			sum := 0.0
+			for _, v := range series {
+				sum += v
+			}
+			fmt.Printf("scenario %-8s mean %.3f\n", s, sum/float64(len(series)))
+		}
+		misses := 0
+		for _, p := range res.Points {
+			misses += p.Misses
+		}
+		fmt.Printf("deadline misses across all runs: %d\n", misses)
+		if *multi > 0 {
+			rows, err := exp.Figure2Multi(cfg, *multi)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nscenario means over %d seeds (95%% CI):\n", *multi)
+			for _, r := range rows {
+				fmt.Printf("  %-9s %.3f ± %.3f\n", r.Scenario, r.Mean, r.CI95)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "casestudy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Adaptive: tracking a bursty server with epoch-based re-estimation.
+//
+// The Benefit and Response Time Estimator is not a one-shot tool: when
+// the unreliable component's load is non-stationary (bursty Wi-Fi, a
+// GPU server with tidal background work), yesterday's budgets are
+// wrong today. This example runs the paper's mechanism in closed loop:
+// every two-second epoch the controller re-probes the live server,
+// refreshes the response-time budgets, re-solves the knapsack, and
+// runs the next epoch — against a Gilbert–Elliott server alternating
+// between a fast and a congested regime.
+//
+// The hard real-time guarantee never depends on estimation quality;
+// adaptation only converts compensations back into served results.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+func main() {
+	ms := rtime.FromMillis
+	var set task.Set
+	for i := 1; i <= 2; i++ {
+		set = append(set, &task.Task{
+			ID: i, Name: fmt.Sprintf("sensor%d", i),
+			Period: ms(200), Deadline: ms(200),
+			LocalWCET: ms(40), Setup: ms(3), Compensation: ms(40),
+			LocalBenefit: 1,
+			Levels: []task.Level{
+				{Response: ms(20), Benefit: 6, PayloadBytes: 1000},
+				{Response: ms(60), Benefit: 6.5, PayloadBytes: 1000},
+			},
+		})
+	}
+	srv, err := server.NewGilbert(stats.NewRNG(33), server.GilbertConfig{
+		GoodDuration: rtime.FromSeconds(4), BadDuration: rtime.FromSeconds(4),
+		GoodLatency: ms(8), BadLatency: ms(120),
+		Sigma: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	epochs, err := core.AdaptiveRun(set, srv, core.AdaptiveConfig{
+		Epoch:     rtime.FromSeconds(2),
+		Epochs:    10,
+		Estimator: core.EstimatorConfig{Probes: 12, Spacing: ms(5), Quantile: 0.9},
+		Solver:    core.SolverDP,
+	}, stats.NewRNG(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("epoch  budget(τ1)  hits  comps  misses")
+	for _, e := range epochs {
+		hits, comps := 0, 0
+		for _, st := range e.Sim.PerTask {
+			hits += st.Hits
+			comps += st.Compensations
+		}
+		budget := "local"
+		for _, c := range e.Decision.Choices {
+			if c.Task.ID == 1 && c.Offload {
+				budget = c.Budget().String()
+			}
+		}
+		fmt.Printf("%5d  %-10s  %4d  %5d  %6d\n", e.Epoch, budget, hits, comps, e.Sim.Misses)
+	}
+	fmt.Println("\nEpochs probed during the congested regime pick ≈120ms budgets (or stay local);")
+	fmt.Println("fast-regime epochs drop back to ≈8ms. Deadline misses stay at zero throughout.")
+}

@@ -1,0 +1,95 @@
+// Admission: the Offloading Decision Manager as an online admission
+// controller.
+//
+// Tasks arrive one at a time. Each arrival triggers a re-decision; an
+// arrival that would make the system unschedulable — even with every
+// task executing locally — is rejected and the previous configuration
+// stays in force. When a task leaves, the freed capacity is
+// immediately re-invested into better offloading levels for the
+// remaining tasks.
+//
+// Run with:
+//
+//	go run ./examples/admission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/task"
+)
+
+func vision(id int, name string, periodMS int64, localMS int64, gains ...float64) *task.Task {
+	ms := rtime.FromMillis
+	t := &task.Task{
+		ID: id, Name: name,
+		Period: ms(periodMS), Deadline: ms(periodMS),
+		LocalWCET:    ms(localMS),
+		Setup:        ms(localMS / 20),
+		Compensation: ms(localMS),
+		LocalBenefit: 10,
+	}
+	for i, g := range gains {
+		t.Levels = append(t.Levels, task.Level{
+			Response: ms(periodMS / 5 * int64(i+1)),
+			Benefit:  g,
+		})
+	}
+	return t
+}
+
+func report(a *core.Admission) {
+	dec := a.Decision()
+	if dec == nil {
+		fmt.Println("  (no tasks admitted)")
+		return
+	}
+	for _, c := range dec.Choices {
+		if c.Offload {
+			fmt.Printf("  %-10s offload level %d (Ri=%v)\n", c.Task.Name, c.Level+1, c.Budget())
+		} else {
+			fmt.Printf("  %-10s local\n", c.Task.Name)
+		}
+	}
+	fmt.Printf("  Theorem 3 total %s, expected benefit %.1f\n",
+		dec.Theorem3Total.FloatString(3), dec.TotalExpected)
+}
+
+func main() {
+	adm := core.NewAdmission(core.Options{Solver: core.SolverDP})
+
+	fmt.Println("① admit lidar (30% local utilization):")
+	if err := adm.Add(vision(1, "lidar", 100, 30, 14, 20)); err != nil {
+		log.Fatal(err)
+	}
+	report(adm)
+
+	fmt.Println("② admit detector (40% local utilization):")
+	if err := adm.Add(vision(2, "detector", 200, 80, 18, 30)); err != nil {
+		log.Fatal(err)
+	}
+	report(adm)
+
+	fmt.Println("③ try to admit a 50%-utilization mapper — must be rejected:")
+	if err := adm.Add(vision(3, "mapper", 100, 50, 40)); err != nil {
+		fmt.Println("  rejected:", err)
+	} else {
+		log.Fatal("mapper unexpectedly admitted")
+	}
+	report(adm)
+
+	fmt.Println("④ lidar leaves; capacity is re-invested:")
+	if _, err := adm.Remove(1); err != nil {
+		log.Fatal(err)
+	}
+	report(adm)
+
+	fmt.Println("⑤ now the mapper fits:")
+	if err := adm.Add(vision(3, "mapper", 100, 50, 40)); err != nil {
+		log.Fatal(err)
+	}
+	report(adm)
+}

@@ -1,0 +1,3 @@
+module rtoffload
+
+go 1.22

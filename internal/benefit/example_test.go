@@ -1,0 +1,37 @@
+package benefit_test
+
+import (
+	"fmt"
+
+	"rtoffload/internal/benefit"
+	"rtoffload/internal/rtime"
+)
+
+// ExampleFunction_At builds a Table-1-style benefit ladder and
+// evaluates the step function.
+func ExampleFunction_At() {
+	ms := rtime.FromMillis
+	g := benefit.MustNew(22.5,
+		benefit.Point{R: ms(195), Value: 30.6},
+		benefit.Point{R: ms(236), Value: 99},
+	)
+	fmt.Println(g.At(ms(100)), g.At(ms(200)), g.At(ms(300)))
+	// Output:
+	// 22.5 30.6 99
+}
+
+// ExampleFunction_Perturb shows the §6.2 estimation-error view: with
+// x = +0.2 every discrete point moves 20 % later, so a budget that
+// used to reach the 30.6 point no longer does.
+func ExampleFunction_Perturb() {
+	ms := rtime.FromMillis
+	g := benefit.MustNew(22.5, benefit.Point{R: ms(195), Value: 30.6})
+	h, err := g.Perturb(0.2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(g.At(ms(200)), h.At(ms(200)), h.At(ms(234)))
+	// Output:
+	// 30.6 22.5 30.6
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// AdaptiveConfig parameterizes the epoch-based adaptive controller: an
+// online version of the Benefit and Response Time Estimator that
+// re-probes the server between epochs and re-decides, tracking
+// non-stationary server load (bursty networks, diurnal GPU load).
+type AdaptiveConfig struct {
+	// Epoch is the wall-clock length of one decision epoch.
+	Epoch rtime.Duration
+	// Epochs is how many epochs to run.
+	Epochs int
+	// Estimator drives the between-epoch probing.
+	Estimator EstimatorConfig
+	// Solver for the per-epoch decision.
+	Solver Solver
+	// MissPolicy for the per-epoch simulation.
+	OnMiss sched.MissPolicy
+}
+
+// Validate checks the configuration.
+func (c AdaptiveConfig) Validate() error {
+	if c.Epoch <= 0 {
+		return fmt.Errorf("core: adaptive epoch must be positive")
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("core: need at least one epoch")
+	}
+	return c.Estimator.Validate()
+}
+
+// EpochResult records one adaptive epoch.
+type EpochResult struct {
+	Epoch    int
+	Decision *Decision
+	Sim      *sched.Result
+}
+
+// AdaptiveRun simulates `Epochs` epochs against srv. Before every
+// epoch the controller probes the *live* server (sharing its clock, so
+// bursty state carries over), overwrites the tasks' response budgets
+// with the configured quantile, re-decides, and runs the epoch. The
+// schedulability guarantee holds within every epoch regardless of
+// estimation quality; adaptation only moves benefit.
+//
+// The probe requests advance the shared server clock, modelling a
+// system that dedicates a small measurement budget between epochs.
+func AdaptiveRun(set task.Set, srv server.Server, cfg AdaptiveConfig, rng *stats.RNG) ([]EpochResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: adaptive run needs an RNG")
+	}
+	work := set.Clone()
+	out := make([]EpochResult, 0, cfg.Epochs)
+	clock := rtime.Instant(0)
+	for e := 0; e < cfg.Epochs; e++ {
+		// Online estimation against the live server state.
+		for _, t := range work {
+			prev := rtime.Duration(0)
+			for j := range t.Levels {
+				var lats []rtime.Duration
+				lats, clock = server.ProbeFrom(srv, clock, cfg.Estimator.Probes,
+					t.Levels[j].PayloadBytes, cfg.Estimator.Spacing)
+				if len(lats) > 0 {
+					t.Levels[j].Response = cfg.Estimator.budgetFrom(lats)
+				}
+				if t.Levels[j].Response <= prev {
+					t.Levels[j].Response = prev + 1
+				}
+				prev = t.Levels[j].Response
+			}
+		}
+		if err := work.Validate(); err != nil {
+			return nil, fmt.Errorf("core: epoch %d estimation produced invalid set: %w", e, err)
+		}
+		dec, err := Decide(work, Options{Solver: cfg.Solver})
+		if err != nil {
+			return nil, fmt.Errorf("core: epoch %d: %w", e, err)
+		}
+		sim, err := sched.Run(sched.Config{
+			Assignments: dec.Assignments(),
+			Server:      shiftedServer{srv, clock},
+			Horizon:     cfg.Epoch,
+			OnMiss:      cfg.OnMiss,
+			RNG:         rng.Fork(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		clock = clock.Add(cfg.Epoch)
+		out = append(out, EpochResult{Epoch: e, Decision: dec, Sim: sim})
+	}
+	return out, nil
+}
+
+// shiftedServer presents a stateful server whose clock is offset: the
+// epoch simulation runs on local time starting at zero while the
+// underlying server keeps one global monotone timeline.
+type shiftedServer struct {
+	inner server.Server
+	base  rtime.Instant
+}
+
+// Respond implements server.Server.
+func (s shiftedServer) Respond(issue rtime.Instant, taskID int, payloadBytes int64) server.Response {
+	return s.inner.Respond(s.base+issue, taskID, payloadBytes)
+}

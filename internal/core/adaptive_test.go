@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+func adaptiveSet() task.Set {
+	mk := func(id int) *task.Task {
+		return &task.Task{
+			ID: id, Period: ms(200), Deadline: ms(200),
+			LocalWCET: ms(40), Setup: ms(3), Compensation: ms(40),
+			LocalBenefit: 1,
+			Levels: []task.Level{
+				{Response: ms(20), Benefit: 6, PayloadBytes: 1000},
+				{Response: ms(60), Benefit: 6.5, PayloadBytes: 1000},
+			},
+		}
+	}
+	return task.Set{mk(1), mk(2)}
+}
+
+func adaptiveCfg() AdaptiveConfig {
+	return AdaptiveConfig{
+		Epoch:  rtime.FromSeconds(2),
+		Epochs: 6,
+		// The probe burst must be short relative to the server's load
+		// regimes, or every estimate sees a mixture instead of the
+		// current regime: 12 probes × 5ms × 4 level-batches = 240ms.
+		Estimator: EstimatorConfig{
+			Probes: 12, Spacing: ms(5), Quantile: 0.9,
+		},
+		Solver: SolverDP,
+	}
+}
+
+func TestAdaptiveRunValidation(t *testing.T) {
+	set := adaptiveSet()
+	rng := stats.NewRNG(1)
+	srv := server.Fixed{Latency: ms(5)}
+	bad := adaptiveCfg()
+	bad.Epoch = 0
+	if _, err := AdaptiveRun(set, srv, bad, rng); err == nil {
+		t.Error("zero epoch accepted")
+	}
+	bad = adaptiveCfg()
+	bad.Epochs = 0
+	if _, err := AdaptiveRun(set, srv, bad, rng); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if _, err := AdaptiveRun(set, srv, adaptiveCfg(), nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := AdaptiveRun(task.Set{{}}, srv, adaptiveCfg(), rng); err == nil {
+		t.Error("invalid set accepted")
+	}
+}
+
+func TestAdaptiveStationaryServer(t *testing.T) {
+	set := adaptiveSet()
+	res, err := AdaptiveRun(set, server.Fixed{Latency: ms(8)}, adaptiveCfg(), stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("%d epochs", len(res))
+	}
+	for _, er := range res {
+		if er.Sim.Misses != 0 {
+			t.Fatalf("epoch %d: %d misses", er.Epoch, er.Sim.Misses)
+		}
+		// Deterministic 8ms server: estimated budgets ≈ 8ms; every
+		// offloaded job hits.
+		for _, c := range er.Decision.Choices {
+			if !c.Offload {
+				t.Fatalf("epoch %d: task %d not offloaded", er.Epoch, c.Task.ID)
+			}
+			if c.Budget() < ms(8) || c.Budget() > ms(10) {
+				t.Fatalf("epoch %d: budget %v far from server latency", er.Epoch, c.Budget())
+			}
+		}
+		for _, st := range er.Sim.PerTask {
+			if st.Compensations != 0 {
+				t.Fatalf("epoch %d: compensations on a deterministic fast server", er.Epoch)
+			}
+		}
+	}
+}
+
+// On a bursty Gilbert server, adaptation tracks the regime: epochs
+// probed during bad bursts get bigger budgets (or fall back to local),
+// so the adaptive run has strictly fewer compensations than freezing
+// the first epoch's decision for the whole horizon.
+func TestAdaptiveTracksBurstyServer(t *testing.T) {
+	set := adaptiveSet()
+	gcfg := server.GilbertConfig{
+		GoodDuration: rtime.FromSeconds(4), BadDuration: rtime.FromSeconds(4),
+		GoodLatency: ms(8), BadLatency: ms(120),
+		Sigma: 0.1,
+	}
+	mkServer := func() server.Server {
+		g, err := server.NewGilbert(stats.NewRNG(33), gcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	cfg := adaptiveCfg()
+	cfg.Epochs = 10
+
+	adaptive, err := AdaptiveRun(set, mkServer(), cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adComp, adHits int
+	var adBenefit float64
+	for _, er := range adaptive {
+		if er.Sim.Misses != 0 {
+			t.Fatalf("adaptive epoch %d missed deadlines", er.Epoch)
+		}
+		for _, st := range er.Sim.PerTask {
+			adComp += st.Compensations
+			adHits += st.Hits
+		}
+		adBenefit += er.Sim.TotalBenefit
+	}
+
+	// Frozen baseline: first-epoch estimation, one decision, same total
+	// horizon against an identical server instance.
+	frozenSrv := mkServer()
+	frozen := set.Clone()
+	if err := EstimateBudgets(frozenSrv, frozen, cfg.Estimator); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decide(frozen, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sched.Run(sched.Config{
+		Assignments: dec.Assignments(),
+		Server:      frozenSrv,
+		Horizon:     cfg.Epoch * rtime.Duration(cfg.Epochs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frComp, frHits int
+	for _, st := range sim.PerTask {
+		frComp += st.Compensations
+		frHits += st.Hits
+	}
+	t.Logf("adaptive: hits %d comps %d benefit %.0f; frozen: hits %d comps %d benefit %.0f",
+		adHits, adComp, adBenefit, frHits, frComp, sim.TotalBenefit)
+	if sim.Misses != 0 {
+		t.Fatalf("frozen run missed deadlines")
+	}
+	if adHits == 0 || frComp == 0 {
+		t.Fatalf("degenerate scenario: adaptive hits %d, frozen comps %d", adHits, frComp)
+	}
+	if adBenefit <= sim.TotalBenefit {
+		t.Fatalf("adaptation earned no benefit: %g vs frozen %g", adBenefit, sim.TotalBenefit)
+	}
+}

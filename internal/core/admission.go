@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"rtoffload/internal/task"
+)
+
+// Admission is the online face of the Offloading Decision Manager: it
+// maintains a current task set and decision, re-deciding when tasks
+// arrive or leave and rejecting arrivals that would make the system
+// unschedulable even with every task local.
+type Admission struct {
+	opts  Options
+	tasks task.Set
+	dec   *Decision
+}
+
+// NewAdmission creates an empty admission manager.
+func NewAdmission(opts Options) *Admission {
+	return &Admission{opts: opts}
+}
+
+// Decision returns the current decision (nil before the first
+// successful Add).
+func (a *Admission) Decision() *Decision { return a.dec }
+
+// Tasks returns a copy of the currently admitted set.
+func (a *Admission) Tasks() task.Set { return a.tasks.Clone() }
+
+// Add admits a task if the grown system remains schedulable; on
+// rejection the previous configuration is kept untouched.
+func (a *Admission) Add(t *task.Task) error {
+	if t == nil {
+		return fmt.Errorf("core: nil task")
+	}
+	if a.tasks.ByID(t.ID) != nil {
+		return fmt.Errorf("core: task %d already admitted", t.ID)
+	}
+	grown := append(a.tasks.Clone(), t)
+	dec, err := Decide(grown, a.opts)
+	if err != nil {
+		return fmt.Errorf("core: admission of task %d rejected: %w", t.ID, err)
+	}
+	a.tasks = grown
+	a.dec = dec
+	return nil
+}
+
+// Remove drops a task and re-decides (more capacity usually means more
+// offloading). It reports whether the task was present.
+func (a *Admission) Remove(id int) (bool, error) {
+	idx := -1
+	for i, t := range a.tasks {
+		if t.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, nil
+	}
+	shrunk := append(a.tasks[:idx:idx].Clone(), a.tasks[idx+1:].Clone()...)
+	if len(shrunk) == 0 {
+		a.tasks = nil
+		a.dec = nil
+		return true, nil
+	}
+	dec, err := Decide(shrunk, a.opts)
+	if err != nil {
+		return true, fmt.Errorf("core: re-decision after removing %d failed: %w", id, err)
+	}
+	a.tasks = shrunk
+	a.dec = dec
+	return true, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/task"
+)
+
+// schedRun wires a decision into the simulator (shared test helper).
+func schedRun(d *Decision, srv server.Server, horizon rtime.Duration) (*sched.Result, error) {
+	return sched.Run(sched.Config{
+		Assignments: d.Assignments(),
+		Server:      srv,
+		Horizon:     horizon,
+	})
+}
+
+func heavyLocalTask(id int, c, period rtime.Duration) *task.Task {
+	return &task.Task{ID: id, Period: period, Deadline: period, LocalWCET: c, LocalBenefit: 1}
+}
+
+func TestAdmissionAddRemove(t *testing.T) {
+	a := NewAdmission(Options{Solver: SolverDP})
+	if a.Decision() != nil {
+		t.Fatal("decision before any Add")
+	}
+	set := twoTaskSet()
+	if err := a.Add(set[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(set[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Tasks()); got != 2 {
+		t.Fatalf("%d tasks", got)
+	}
+	// With both admitted, the optimum offloads both (see twoTaskSet).
+	if a.Decision().TotalExpected != 10 {
+		t.Fatalf("expected benefit %g", a.Decision().TotalExpected)
+	}
+	ok, err := a.Remove(1)
+	if err != nil || !ok {
+		t.Fatalf("Remove: %v %v", ok, err)
+	}
+	if len(a.Tasks()) != 1 || a.Tasks()[0].ID != 2 {
+		t.Fatalf("tasks after remove: %v", a.Tasks())
+	}
+	ok, err = a.Remove(99)
+	if err != nil || ok {
+		t.Fatalf("Remove(99): %v %v", ok, err)
+	}
+	// Removing the last task clears the decision.
+	if _, err := a.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Decision() != nil || len(a.Tasks()) != 0 {
+		t.Fatal("state not cleared")
+	}
+}
+
+func TestAdmissionRejectsOverload(t *testing.T) {
+	a := NewAdmission(Options{Solver: SolverDP})
+	if err := a.Add(heavyLocalTask(1, ms(60), ms(100))); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Decision()
+	// A second task at 60 % utilization cannot fit.
+	if err := a.Add(heavyLocalTask(2, ms(60), ms(100))); err == nil {
+		t.Fatal("overload admitted")
+	}
+	// State unchanged after rejection.
+	if len(a.Tasks()) != 1 || a.Decision() != before {
+		t.Fatal("rejection mutated state")
+	}
+	// Duplicate and nil rejections.
+	if err := a.Add(heavyLocalTask(1, ms(1), ms(100))); err == nil {
+		t.Fatal("duplicate ID admitted")
+	}
+	if err := a.Add(nil); err == nil {
+		t.Fatal("nil admitted")
+	}
+}
+
+func TestAdmissionFreesCapacityOnRemove(t *testing.T) {
+	// τA occupies most capacity; while present, τB can only run a cheap
+	// configuration. After removing τA, re-decision should offload τB
+	// at a better level.
+	a := NewAdmission(Options{Solver: SolverDP})
+	tb := &task.Task{
+		ID: 2, Period: ms(100), Deadline: ms(100),
+		LocalWCET: ms(10), Setup: ms(5), Compensation: ms(10),
+		LocalBenefit: 1,
+		Levels: []task.Level{
+			{Response: ms(20), Benefit: 2},  // w = 15/80
+			{Response: ms(80), Benefit: 50}, // w = 15/20 = 0.75
+		},
+	}
+	if err := a.Add(heavyLocalTask(1, ms(70), ms(100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(tb); err != nil {
+		t.Fatal(err)
+	}
+	ch := a.Decision().Choices
+	for _, c := range ch {
+		if c.Task.ID == 2 && c.Offload && c.Level == 1 {
+			t.Fatal("high level chosen despite heavy co-runner")
+		}
+	}
+	if _, err := a.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Decision().Choices[0]
+	if !got.Offload || got.Level != 1 {
+		t.Fatalf("after removal choice %+v, want level 1", got)
+	}
+}

@@ -1,0 +1,359 @@
+// Package core implements the paper's primary contribution: the
+// computation-offloading mechanism that exploits timing unreliable
+// components in a hard real-time system (Figure 1's software
+// architecture).
+//
+// The pipeline is:
+//
+//  1. The Benefit and Response Time Estimator (estimator.go) probes the
+//     unreliable server and discretizes per-task benefit functions
+//     Gi(ri).
+//  2. The Offloading Decision Manager (this file) reduces the choice of
+//     which tasks to offload — and with which estimated worst-case
+//     response time Ri — to a multiple-choice knapsack instance whose
+//     weights are the Theorem-3 terms (§5.2), solves it with the DP or
+//     HEU-OE solver, and verifies the selected configuration against
+//     the exact rational Theorem-3 test (repairing the rare float
+//     rounding slip by downgrading choices).
+//  3. The Local Compensation Manager is realized by the scheduler
+//     (package sched): the setup sub-job gets the proportional split
+//     deadline Di,1, a timer fires at Ri, and the compensation runs
+//     with the job's original absolute deadline.
+//
+// The package also provides the online Admission manager and the
+// benefit-function perturbation used by the paper's estimation-error
+// study (§6.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"rtoffload/internal/benefit"
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/mckp"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/task"
+)
+
+// Solver selects the MCKP algorithm used by Decide.
+type Solver int
+
+const (
+	// SolverDP is the pseudo-polynomial dynamic program the paper
+	// adopts from Dudzinski & Walukiewicz (optimal up to capacity-grid
+	// quantization).
+	SolverDP Solver = iota
+	// SolverHEU is the HEU-OE greedy heuristic from Khan's thesis.
+	SolverHEU
+	// SolverBrute exhaustively enumerates assignments (small systems).
+	SolverBrute
+	// SolverGreedy is a naive profit-greedy baseline for ablations.
+	SolverGreedy
+	// SolverBnB is exact branch-and-bound with LP pruning — no capacity
+	// quantization, so it resolves hairline-fit instances the DP grid
+	// rounds away.
+	SolverBnB
+)
+
+// String implements fmt.Stringer.
+func (s Solver) String() string {
+	switch s {
+	case SolverDP:
+		return "dp"
+	case SolverHEU:
+		return "heu-oe"
+	case SolverBrute:
+		return "brute-force"
+	case SolverGreedy:
+		return "greedy"
+	case SolverBnB:
+		return "branch-and-bound"
+	case SolverServerFaster:
+		return "server-faster"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// Options configures Decide.
+type Options struct {
+	Solver Solver
+	// DPResolution is the capacity grid of the DP solver
+	// (0 = mckp.DefaultDPResolution).
+	DPResolution int
+}
+
+// Choice is the decision for one task.
+type Choice struct {
+	Task *task.Task
+	// Offload and Level mirror sched.Assignment: Level indexes
+	// Task.Levels when Offload is true.
+	Offload bool
+	Level   int
+	// Expected is the weighted benefit claimed by the decision:
+	// weight·Gi(Ri) for offloading, weight·Gi(0) for local execution.
+	Expected float64
+}
+
+// Budget returns the chosen estimated worst-case response time Ri
+// (0 for local execution).
+func (c Choice) Budget() rtime.Duration {
+	if !c.Offload {
+		return 0
+	}
+	return c.Task.Levels[c.Level].Response
+}
+
+// Decision is a complete offloading configuration.
+type Decision struct {
+	Choices []Choice
+	// TotalExpected is Σ weight·Gi over the chosen points — the MCKP
+	// objective (5a).
+	TotalExpected float64
+	// Theorem3Total is the exact value of the left-hand side of the
+	// schedulability test (3); ≤ 1 by construction.
+	Theorem3Total *big.Rat
+	Solver        Solver
+	// Repaired counts choices downgraded to local execution by the
+	// exact-feasibility repair pass (normally 0).
+	Repaired int
+	// ExactVerified marks decisions whose feasibility is certified by
+	// the exact processor-demand test (QPA) rather than Theorem 3 —
+	// such decisions may legitimately have Theorem3Total > 1. See
+	// ImproveWithExact.
+	ExactVerified bool
+}
+
+// Assignments converts the decision into scheduler assignments.
+func (d *Decision) Assignments() []sched.Assignment {
+	out := make([]sched.Assignment, len(d.Choices))
+	for i, c := range d.Choices {
+		out[i] = sched.Assignment{Task: c.Task, Offload: c.Offload, Level: c.Level}
+	}
+	return out
+}
+
+// OffloadedCount reports how many tasks the decision offloads.
+func (d *Decision) OffloadedCount() int {
+	n := 0
+	for _, c := range d.Choices {
+		if c.Offload {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrInfeasible reports that not even the all-local configuration
+// passes the schedulability test.
+var ErrInfeasible = errors.New("core: task set infeasible even with all-local execution")
+
+// classMap records which (offload, level) each MCKP item index means.
+type classMap struct {
+	offload bool
+	level   int
+}
+
+// buildInstance constructs the MCKP instance of §5.2: per task, item 0
+// is local execution (wi,1 = Ci/Ti, profit weight·Gi(0)) and one item
+// per offloading level j with wi,j = (Ci,1+Ci,2)/(Di−ri,j) and profit
+// weight·Gi(ri,j). Levels whose response budget leaves no room
+// (ri,j ≥ Di or wi,j > 1) are excluded — they can never be part of a
+// feasible configuration.
+func buildInstance(set task.Set) (*mckp.Instance, [][]classMap, error) {
+	in := &mckp.Instance{Capacity: 1}
+	maps := make([][]classMap, len(set))
+	for i, t := range set {
+		cls := mckp.Class{Label: t.Name}
+		var cm []classMap
+		localW, _ := t.Density().Float64()
+		cls.Items = append(cls.Items, mckp.Item{Weight: localW, Profit: t.EffectiveWeight() * t.LocalBenefit})
+		cm = append(cm, classMap{offload: false})
+		for j := range t.Levels {
+			w, err := t.OffloadWeight(j)
+			if err != nil {
+				continue // budget ≥ deadline: never feasible
+			}
+			// Reject over-dense levels and levels whose split deadline
+			// would be unschedulable in isolation.
+			if w.Cmp(big.NewRat(1, 1)) > 0 {
+				continue
+			}
+			if _, err := dbf.NewOffloaded(t.SetupAt(j), t.SecondPhaseAt(j), t.Deadline, t.Period, t.Levels[j].Response); err != nil {
+				continue
+			}
+			wf, _ := w.Float64()
+			cls.Items = append(cls.Items, mckp.Item{Weight: wf, Profit: t.EffectiveWeight() * t.Levels[j].Benefit})
+			cm = append(cm, classMap{offload: true, level: j})
+		}
+		in.Classes = append(in.Classes, cls)
+		maps[i] = cm
+	}
+	return in, maps, nil
+}
+
+// Decide selects, for every task, local execution or an offloading
+// level, maximizing total weighted benefit subject to the paper's
+// schedulability test. The returned decision always satisfies the
+// exact rational Theorem-3 test.
+func Decide(set task.Set, opts Options) (*Decision, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if len(set) == 0 {
+		return nil, errors.New("core: empty task set")
+	}
+	in, maps, err := buildInstance(set)
+	if err != nil {
+		return nil, err
+	}
+
+	var sol mckp.Solution
+	switch opts.Solver {
+	case SolverDP:
+		sol, err = mckp.SolveDP(in, opts.DPResolution)
+	case SolverHEU:
+		sol, err = mckp.SolveHEU(in)
+	case SolverBrute:
+		sol, err = mckp.SolveBruteForce(in)
+	case SolverGreedy:
+		sol, err = mckp.SolveGreedy(in)
+	case SolverBnB:
+		sol, err = mckp.SolveBnB(in)
+	default:
+		return nil, fmt.Errorf("core: unknown solver %d", int(opts.Solver))
+	}
+	if errors.Is(err, mckp.ErrInfeasible) {
+		return nil, ErrInfeasible
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Decision{Solver: opts.Solver}
+	for i, t := range set {
+		cm := maps[i][sol.Choice[i]]
+		ch := Choice{Task: t, Offload: cm.offload, Level: cm.level}
+		if cm.offload {
+			ch.Expected = t.EffectiveWeight() * t.Levels[cm.level].Benefit
+		} else {
+			ch.Expected = t.EffectiveWeight() * t.LocalBenefit
+		}
+		d.Choices = append(d.Choices, ch)
+		d.TotalExpected += ch.Expected
+	}
+
+	// Exact verification + repair: float accumulation in the solvers
+	// can, in principle, admit a configuration a hair over 1. Downgrade
+	// the offloaded choice with the smallest benefit loss until the
+	// exact test passes.
+	for {
+		total, ok := theorem3Of(d.Choices)
+		if ok {
+			d.Theorem3Total = total
+			break
+		}
+		idx := cheapestDowngrade(d.Choices)
+		if idx < 0 {
+			return nil, ErrInfeasible
+		}
+		c := &d.Choices[idx]
+		d.TotalExpected -= c.Expected
+		c.Offload = false
+		c.Level = 0
+		c.Expected = c.Task.EffectiveWeight() * c.Task.LocalBenefit
+		d.TotalExpected += c.Expected
+		d.Repaired++
+	}
+	return d, nil
+}
+
+// theorem3Of evaluates the exact test for a choice vector.
+func theorem3Of(choices []Choice) (*big.Rat, bool) {
+	var off []dbf.Offloaded
+	var loc []dbf.Sporadic
+	for _, c := range choices {
+		t := c.Task
+		if c.Offload {
+			o, err := dbf.NewOffloaded(t.SetupAt(c.Level), t.SecondPhaseAt(c.Level),
+				t.Deadline, t.Period, t.Levels[c.Level].Response)
+			if err != nil {
+				// Excluded in buildInstance; a failure here means the
+				// choice is over-dense — report as infeasible.
+				return big.NewRat(2, 1), false
+			}
+			off = append(off, o)
+		} else {
+			s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
+			if err != nil {
+				return big.NewRat(2, 1), false
+			}
+			loc = append(loc, s)
+		}
+	}
+	return dbf.Theorem3(off, loc)
+}
+
+// cheapestDowngrade picks the offloaded choice whose switch to local
+// costs the least expected benefit; −1 when nothing is offloaded.
+func cheapestDowngrade(choices []Choice) int {
+	best, bestLoss := -1, 0.0
+	for i, c := range choices {
+		if !c.Offload {
+			continue
+		}
+		loss := c.Expected - c.Task.EffectiveWeight()*c.Task.LocalBenefit
+		if best == -1 || loss < bestLoss {
+			best, bestLoss = i, loss
+		}
+	}
+	return best
+}
+
+// PerturbSet applies the §6.2 estimation-accuracy ratio x to every
+// task's benefit function: each level's response budget moves to
+// (1+x)·ri,j while its benefit value is retained. The returned set is
+// a deep copy; per-level WCET overrides and payloads are preserved.
+func PerturbSet(set task.Set, x float64) (task.Set, error) {
+	out := set.Clone()
+	for _, t := range out {
+		f := benefit.FromTask(t)
+		g, err := f.Perturb(x)
+		if err != nil {
+			return nil, err
+		}
+		pts := g.OffloadPoints()
+		for j := range t.Levels {
+			t.Levels[j].Response = pts[j].R
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: perturbed task invalid: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// RealizedBenefit evaluates what a decision actually earns when the
+// true benefit functions are given by trueSet (matching task IDs):
+// an offloaded task earns the *true* Gi at its chosen budget — the
+// probability-weighted value the system observes — while a local task
+// earns Gi(0). This is the scoring rule of the paper's Figure 3.
+func RealizedBenefit(d *Decision, trueSet task.Set) (float64, error) {
+	total := 0.0
+	for _, c := range d.Choices {
+		t := trueSet.ByID(c.Task.ID)
+		if t == nil {
+			return 0, fmt.Errorf("core: task %d missing from true set", c.Task.ID)
+		}
+		f := benefit.FromTask(t)
+		if c.Offload {
+			total += t.EffectiveWeight() * f.At(c.Budget())
+		} else {
+			total += t.EffectiveWeight() * f.Local()
+		}
+	}
+	return total, nil
+}

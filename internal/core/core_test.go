@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+func ms(v int64) rtime.Duration { return rtime.FromMillis(v) }
+
+// twoTaskSet builds the hand-analyzable system used in several tests:
+//
+//	τ1: C=30, D=T=100, G(0)=1; offload levels (R=20ms → 4), (R=60ms → 9)
+//	    C1=5, C2=30 ⇒ w(20) = 35/80, w(60) = 35/40
+//	τ2: C=30, D=T=100, G(0)=1; offload level (R=20ms → 6), same WCETs
+//
+// Capacity 1: both offloaded at R=20 costs 70/80 < 1 → benefit 10.
+// τ1@60 + τ2 local costs 35/40+3/10 > 1 → infeasible. Optimum = 10.
+func twoTaskSet() task.Set {
+	mk := func(id int, levels []task.Level) *task.Task {
+		return &task.Task{
+			ID: id, Period: ms(100), Deadline: ms(100),
+			LocalWCET: ms(30), Setup: ms(5), Compensation: ms(30),
+			LocalBenefit: 1, Levels: levels,
+		}
+	}
+	return task.Set{
+		mk(1, []task.Level{
+			{Response: ms(20), Benefit: 4},
+			{Response: ms(60), Benefit: 9},
+		}),
+		mk(2, []task.Level{
+			{Response: ms(20), Benefit: 6},
+		}),
+	}
+}
+
+func TestDecideOptimal(t *testing.T) {
+	for _, solver := range []Solver{SolverDP, SolverBrute, SolverBnB} {
+		d, err := Decide(twoTaskSet(), Options{Solver: solver})
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if d.TotalExpected != 10 {
+			t.Fatalf("%v: expected benefit %g, want 10 (choices %+v)", solver, d.TotalExpected, d.Choices)
+		}
+		if !d.Choices[0].Offload || d.Choices[0].Level != 0 {
+			t.Fatalf("%v: τ1 choice %+v", solver, d.Choices[0])
+		}
+		if !d.Choices[1].Offload {
+			t.Fatalf("%v: τ2 not offloaded", solver)
+		}
+		// Exact total: 35/80 + 35/80 = 7/8.
+		if d.Theorem3Total.Cmp(big.NewRat(7, 8)) != 0 {
+			t.Fatalf("%v: Theorem3Total = %v, want 7/8", solver, d.Theorem3Total)
+		}
+		if d.Repaired != 0 {
+			t.Fatalf("%v: unexpected repairs", solver)
+		}
+		if d.OffloadedCount() != 2 {
+			t.Fatalf("%v: offloaded %d", solver, d.OffloadedCount())
+		}
+	}
+}
+
+func TestDecideBudgets(t *testing.T) {
+	d, err := Decide(twoTaskSet(), Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choices[0].Budget() != ms(20) || d.Choices[1].Budget() != ms(20) {
+		t.Fatalf("budgets %v %v", d.Choices[0].Budget(), d.Choices[1].Budget())
+	}
+	local := Choice{Task: twoTaskSet()[0]}
+	if local.Budget() != 0 {
+		t.Error("local budget not 0")
+	}
+}
+
+func TestDecideInfeasible(t *testing.T) {
+	set := task.Set{
+		{ID: 1, Period: ms(10), Deadline: ms(10), LocalWCET: ms(8), LocalBenefit: 1},
+		{ID: 2, Period: ms(10), Deadline: ms(10), LocalWCET: ms(8), LocalBenefit: 1},
+	}
+	if _, err := Decide(set, Options{Solver: SolverDP}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	if _, err := Decide(nil, Options{}); err == nil {
+		t.Error("empty set accepted")
+	}
+	bad := task.Set{{ID: 1, Period: 0, Deadline: ms(1), LocalWCET: 1}}
+	if _, err := Decide(bad, Options{}); err == nil {
+		t.Error("invalid task accepted")
+	}
+	if _, err := Decide(twoTaskSet(), Options{Solver: Solver(9)}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestDecideSkipsImpossibleLevels(t *testing.T) {
+	set := twoTaskSet()
+	// A level with budget beyond the deadline must be ignored, not
+	// break the decision.
+	set[0].Levels = append(set[0].Levels, task.Level{Response: ms(150), Benefit: 99})
+	d, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choices[0].Offload && d.Choices[0].Level == 2 {
+		t.Fatal("impossible level selected")
+	}
+	// An over-dense level (w > 1) is likewise ignored: R=96 leaves 4ms
+	// for C1+C2=35ms.
+	set = twoTaskSet()
+	set[0].Levels = append(set[0].Levels, task.Level{Response: ms(96), Benefit: 99})
+	d, err = Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Choices[0].Offload && d.Choices[0].Level == 2 {
+		t.Fatal("over-dense level selected")
+	}
+}
+
+func TestSolverOrdering(t *testing.T) {
+	// DP (≈optimal) ≥ HEU and ≥ greedy on the paper's random sets.
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		set, err := task.GenerateFigure3(rng.Fork(), task.DefaultFigure3Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := Decide(set, Options{Solver: SolverDP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heu, err := Decide(set, Options{Solver: SolverHEU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heu.TotalExpected > dp.TotalExpected+0.02*dp.TotalExpected {
+			t.Fatalf("trial %d: HEU %g clearly beats DP %g", trial, heu.TotalExpected, dp.TotalExpected)
+		}
+		bnb, err := Decide(set, Options{Solver: SolverBnB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// BnB is exact: never below DP (whose grid can cost a sliver)
+		// and never below HEU.
+		if bnb.TotalExpected < dp.TotalExpected-1e-9 || bnb.TotalExpected < heu.TotalExpected-1e-9 {
+			t.Fatalf("trial %d: BnB %g below DP %g or HEU %g", trial, bnb.TotalExpected, dp.TotalExpected, heu.TotalExpected)
+		}
+		one := big.NewRat(1, 1)
+		if dp.Theorem3Total.Cmp(one) > 0 || heu.Theorem3Total.Cmp(one) > 0 || bnb.Theorem3Total.Cmp(one) > 0 {
+			t.Fatalf("trial %d: decision violates exact test", trial)
+		}
+	}
+}
+
+// End-to-end: DP decision on a Figure-3 set simulated against the CDF
+// server derived from the same benefit functions — no deadline misses,
+// and the hit fractions approximate the chosen probabilities.
+func TestDecisionSimulatesWithoutMisses(t *testing.T) {
+	rng := stats.NewRNG(77)
+	set, err := task.GenerateFigure3(rng.Fork(), task.DefaultFigure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OffloadedCount() == 0 {
+		t.Fatal("decision offloads nothing; test degenerate")
+	}
+	samplers := map[int]server.ResponseSampler{}
+	for _, c := range d.Choices {
+		if c.Offload {
+			samplers[c.Task.ID] = benefitOf(c.Task)
+		}
+	}
+	res, err := sched.Run(sched.Config{
+		Assignments: d.Assignments(),
+		Server:      server.NewCDF(rng.Fork(), samplers),
+		Horizon:     rtime.FromSeconds(30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d deadline misses", res.Misses)
+	}
+	// Aggregate hit fraction should track the mean chosen probability.
+	var hits, offJobs, probSum float64
+	var offTasks int
+	for _, c := range d.Choices {
+		if !c.Offload {
+			continue
+		}
+		offTasks++
+		probSum += c.Task.Levels[c.Level].Benefit
+		st := res.PerTask[c.Task.ID]
+		hits += float64(st.Hits)
+		offJobs += float64(st.Finished)
+	}
+	wantFrac := probSum / float64(offTasks)
+	gotFrac := hits / offJobs
+	if gotFrac < wantFrac-0.08 || gotFrac > wantFrac+0.08 {
+		t.Fatalf("hit fraction %g, decisions promised ≈%g", gotFrac, wantFrac)
+	}
+}
+
+func TestPerturbSet(t *testing.T) {
+	set := twoTaskSet()
+	p, err := PerturbSet(set, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0].Levels[0].Response != ms(30) || p[0].Levels[1].Response != ms(90) {
+		t.Fatalf("perturbed responses %v %v", p[0].Levels[0].Response, p[0].Levels[1].Response)
+	}
+	// Originals untouched; benefits and WCETs preserved.
+	if set[0].Levels[0].Response != ms(20) {
+		t.Fatal("PerturbSet mutated input")
+	}
+	if p[0].Levels[0].Benefit != 4 || p[0].Setup != ms(5) {
+		t.Fatal("perturbation changed benefit or WCET")
+	}
+	if _, err := PerturbSet(set, -1); err == nil {
+		t.Error("x = -1 accepted")
+	}
+}
+
+func TestRealizedBenefit(t *testing.T) {
+	set := twoTaskSet()
+	d, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against the true set, realized == expected.
+	got, err := RealizedBenefit(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d.TotalExpected {
+		t.Fatalf("realized %g, expected %g", got, d.TotalExpected)
+	}
+	// Decide on an optimistic (x = −0.5) view: budgets shrink, the true
+	// function at those small budgets yields less than promised.
+	opt, err := PerturbSet(set, -0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOpt, err := Decide(opt, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	realized, err := RealizedBenefit(dOpt, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realized > dOpt.TotalExpected {
+		t.Fatalf("optimistic decision realized %g above its own claim %g", realized, dOpt.TotalExpected)
+	}
+	if realized > got {
+		t.Fatalf("optimistic decision realized %g above true optimum %g", realized, got)
+	}
+	// Missing task in true set.
+	if _, err := RealizedBenefit(d, set[:1]); err == nil {
+		t.Error("missing task accepted")
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	for s, want := range map[Solver]string{
+		SolverDP: "dp", SolverHEU: "heu-oe", SolverBrute: "brute-force", SolverGreedy: "greedy",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+	if Solver(9).String() == "" {
+		t.Error("unknown solver name empty")
+	}
+}

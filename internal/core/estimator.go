@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"rtoffload/internal/benefit"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// EstimatorConfig parameterizes the Benefit and Response Time
+// Estimator (§3.2): offline probing of the unreliable server followed
+// by coarse-grained statistical estimation of the per-level response
+// budgets.
+type EstimatorConfig struct {
+	// Probes per level; more probes tighten the quantile estimate.
+	Probes int
+	// Spacing between probe requests; should approximate the task's
+	// production period so queueing effects are representative.
+	Spacing rtime.Duration
+	// Quantile in (0, 1]: the level's estimated worst-case response
+	// time Ri is this quantile of the observed latencies (e.g. 0.9 for
+	// a coarse 90th-percentile estimate).
+	Quantile float64
+	// Margin inflates the estimated budgets by the given fraction
+	// (budget = quantile × (1+Margin)). Probing measures an unloaded
+	// request stream; a margin absorbs the extra queueing the system's
+	// own concurrent offloads will cause (§3.2's accuracy discussion).
+	// Must be ≥ 0; 0 disables.
+	Margin float64
+}
+
+// Validate checks the configuration.
+func (c EstimatorConfig) Validate() error {
+	if c.Probes <= 0 {
+		return fmt.Errorf("core: estimator needs probes > 0")
+	}
+	if c.Spacing <= 0 {
+		return fmt.Errorf("core: estimator needs positive spacing")
+	}
+	if c.Quantile <= 0 || c.Quantile > 1 {
+		return fmt.Errorf("core: estimator quantile %g out of (0,1]", c.Quantile)
+	}
+	if c.Margin < 0 {
+		return fmt.Errorf("core: negative estimator margin %g", c.Margin)
+	}
+	return nil
+}
+
+// budgetFrom converts observed latencies into a budget estimate.
+func (c EstimatorConfig) budgetFrom(lats []rtime.Duration) rtime.Duration {
+	xs := make([]float64, len(lats))
+	for i, l := range lats {
+		xs[i] = float64(l)
+	}
+	q := stats.NewECDF(xs).Quantile(c.Quantile)
+	return rtime.Duration(q * (1 + c.Margin))
+}
+
+// EstimateBudgets probes srv with each level's payload and overwrites
+// the level's Response with the configured quantile of the observed
+// latencies, preserving benefit values and WCETs. Levels whose probes
+// all get lost keep their prior Response. The set is modified in
+// place; strict response monotonicity across levels is restored by
+// bumping ties (larger payloads cannot report smaller budgets).
+func EstimateBudgets(srv server.Server, set task.Set, cfg EstimatorConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	clock := rtime.Instant(0)
+	for _, t := range set {
+		prev := rtime.Duration(0)
+		for j := range t.Levels {
+			var lats []rtime.Duration
+			lats, clock = server.ProbeFrom(srv, clock, cfg.Probes, t.Levels[j].PayloadBytes, cfg.Spacing)
+			// Idle gap between batches lets the server queue drain so
+			// each level measures steady state, not the previous
+			// batch's backlog tail.
+			clock = clock.Add(20 * cfg.Spacing)
+			if len(lats) > 0 {
+				t.Levels[j].Response = cfg.budgetFrom(lats)
+			}
+			if t.Levels[j].Response <= prev {
+				t.Levels[j].Response = prev + 1
+			}
+			prev = t.Levels[j].Response
+		}
+	}
+	return set.Validate()
+}
+
+// EstimateBudgetsRouted is EstimateBudgets for multi-component systems:
+// levels with a ServerID are probed against their named server, others
+// against def. Each server keeps its own monotone probe clock.
+func EstimateBudgetsRouted(def server.Server, servers map[string]server.Server, set task.Set, cfg EstimatorConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	clocks := map[string]rtime.Instant{}
+	for _, t := range set {
+		prev := rtime.Duration(0)
+		for j := range t.Levels {
+			id := t.Levels[j].ServerID
+			srv := def
+			if id != "" {
+				srv = servers[id]
+				if srv == nil {
+					return fmt.Errorf("core: task %d level %d routes to unknown server %q", t.ID, j, id)
+				}
+			}
+			var lats []rtime.Duration
+			lats, clocks[id] = server.ProbeFrom(srv, clocks[id], cfg.Probes, t.Levels[j].PayloadBytes, cfg.Spacing)
+			clocks[id] = clocks[id].Add(20 * cfg.Spacing)
+			if len(lats) > 0 {
+				t.Levels[j].Response = cfg.budgetFrom(lats)
+			}
+			if t.Levels[j].Response <= prev {
+				t.Levels[j].Response = prev + 1
+			}
+			prev = t.Levels[j].Response
+		}
+	}
+	return set.Validate()
+}
+
+// EstimateFunction builds a probability-valued benefit function for
+// one payload size by probing: Gi(r) = fraction of probes answered
+// within r, discretized at the given quantiles. Lost probes lower the
+// attainable maximum. This is the constructor used when the system
+// objective is the expected number of in-time results (§6.2).
+func EstimateFunction(srv server.Server, payloadBytes int64, cfg EstimatorConfig, quantiles []float64) (*benefit.Function, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lats := server.Probe(srv, cfg.Probes, payloadBytes, cfg.Spacing)
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("core: no probe responses for payload %d", payloadBytes)
+	}
+	arrivalFrac := float64(len(lats)) / float64(cfg.Probes)
+	f, err := benefit.FromResponseSamples(lats, quantiles, 0)
+	if err != nil {
+		return nil, err
+	}
+	if arrivalFrac >= 1 {
+		return f, nil
+	}
+	// Scale the CDF by the arrival fraction: quantile q of the
+	// *arrived* probes corresponds to overall probability q·frac.
+	pts := f.OffloadPoints()
+	scaled := make([]benefit.Point, len(pts))
+	for i, p := range pts {
+		scaled[i] = benefit.Point{R: p.R, Value: p.Value * arrivalFrac}
+	}
+	return benefit.New(0, scaled...)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rtoffload/internal/benefit"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// benefitOf adapts a task's levels into a response sampler.
+func benefitOf(t *task.Task) server.ResponseSampler { return benefit.FromTask(t) }
+
+func TestEstimatorConfigValidate(t *testing.T) {
+	good := EstimatorConfig{Probes: 10, Spacing: ms(10), Quantile: 0.9}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []EstimatorConfig{
+		{Probes: 0, Spacing: ms(1), Quantile: 0.5},
+		{Probes: 1, Spacing: 0, Quantile: 0.5},
+		{Probes: 1, Spacing: ms(1), Quantile: 0},
+		{Probes: 1, Spacing: ms(1), Quantile: 1.1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestEstimateBudgetsFixedServer(t *testing.T) {
+	set := twoTaskSet()
+	set[0].Levels[0].PayloadBytes = 1000
+	set[0].Levels[1].PayloadBytes = 2000
+	srv := server.Fixed{Latency: ms(42)}
+	err := EstimateBudgets(srv, set, EstimatorConfig{Probes: 20, Spacing: ms(5), Quantile: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic server: every level's budget is 42ms, bumped for
+	// strict monotonicity.
+	if set[0].Levels[0].Response != ms(42) {
+		t.Fatalf("level 0 budget %v", set[0].Levels[0].Response)
+	}
+	if set[0].Levels[1].Response != ms(42)+1 {
+		t.Fatalf("level 1 budget %v (monotonicity bump)", set[0].Levels[1].Response)
+	}
+}
+
+func TestEstimateBudgetsLostProbesKeepPrior(t *testing.T) {
+	set := twoTaskSet()
+	prior := set[0].Levels[0].Response
+	err := EstimateBudgets(server.Fixed{Lost: true}, set, EstimatorConfig{Probes: 5, Spacing: ms(5), Quantile: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set[0].Levels[0].Response != prior {
+		t.Fatalf("lost probes overwrote budget: %v", set[0].Levels[0].Response)
+	}
+}
+
+func TestEstimateBudgetsBadConfig(t *testing.T) {
+	if err := EstimateBudgets(server.Fixed{}, twoTaskSet(), EstimatorConfig{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestEstimateBudgetsQueueServerQuantile(t *testing.T) {
+	rng := stats.NewRNG(11)
+	srv, err := server.NewScenario(rng, server.Idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := twoTaskSet()
+	for i := range set {
+		for j := range set[i].Levels {
+			set[i].Levels[j].PayloadBytes = 60000
+		}
+	}
+	if err := EstimateBudgets(srv, set, EstimatorConfig{Probes: 200, Spacing: ms(50), Quantile: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	// Idle scenario with 60kB payloads: budgets should land in the
+	// tens-of-milliseconds range, far below the 100ms deadline.
+	r := set[0].Levels[0].Response
+	if r <= 0 || r > ms(100) {
+		t.Fatalf("estimated budget %v implausible", r)
+	}
+}
+
+func TestEstimateFunction(t *testing.T) {
+	srv := server.Fixed{Latency: ms(30)}
+	f, err := EstimateFunction(srv, 1000, EstimatorConfig{Probes: 100, Spacing: ms(5), Quantile: 0.9},
+		[]float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.ValidProbability() {
+		t.Fatal("estimated function not a probability")
+	}
+	if f.Max() != 1 {
+		t.Fatalf("max = %g, want 1 (no losses)", f.Max())
+	}
+	// Both quantiles of a deterministic server land at 30ms; the second
+	// point is bumped by 1µs to stay strictly increasing.
+	if got := f.At(ms(30)); got != 0.5 {
+		t.Fatalf("At(30ms) = %g", got)
+	}
+	if got := f.At(ms(30) + 1); got != 1 {
+		t.Fatalf("At(30ms+1µs) = %g", got)
+	}
+	if got := f.At(ms(29)); got != 0 {
+		t.Fatalf("At(29ms) = %g", got)
+	}
+}
+
+func TestEstimateFunctionWithLosses(t *testing.T) {
+	// A lossy queue server: the function's max must reflect arrivals.
+	rng := stats.NewRNG(12)
+	cfg := server.QueueConfig{
+		Workers: 1, BandwidthBytesPerSec: 1 << 30,
+		ServiceMean: ms(5), ServiceRefBytes: 1000,
+		LossProbability: 0.5,
+	}
+	srv, err := server.NewQueue(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EstimateFunction(srv, 1000, EstimatorConfig{Probes: 2000, Spacing: ms(20), Quantile: 0.9},
+		[]float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Max()-0.5) > 0.06 {
+		t.Fatalf("max = %g, want ≈0.5 with 50%% loss", f.Max())
+	}
+}
+
+func TestEstimateFunctionAllLost(t *testing.T) {
+	if _, err := EstimateFunction(server.Fixed{Lost: true}, 1000,
+		EstimatorConfig{Probes: 10, Spacing: ms(1), Quantile: 0.9}, []float64{1}); err == nil {
+		t.Error("all-lost probing accepted")
+	}
+	if _, err := EstimateFunction(server.Fixed{}, 1000, EstimatorConfig{}, []float64{1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestEstimatedSetFeedsDecide(t *testing.T) {
+	// Full §3 pipeline: probe → budgets → decide → simulate.
+	rng := stats.NewRNG(13)
+	srv, err := server.NewScenario(rng.Fork(), server.Idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := twoTaskSet()
+	for i := range set {
+		for j := range set[i].Levels {
+			set[i].Levels[j].PayloadBytes = int64(40000 * (j + 1))
+		}
+	}
+	if err := EstimateBudgets(srv, set, EstimatorConfig{Probes: 100, Spacing: ms(100), Quantile: 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSrv, err := server.NewScenario(rng.Fork(), server.Idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedRun(d, runSrv, rtime.FromSeconds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses", res.Misses)
+	}
+	// With an idle server and 95th-percentile budgets, most offloaded
+	// jobs (if any were chosen) must hit.
+	for _, c := range d.Choices {
+		if !c.Offload {
+			continue
+		}
+		st := res.PerTask[c.Task.ID]
+		if st.Finished == 0 {
+			continue
+		}
+		if frac := float64(st.Hits) / float64(st.Finished); frac < 0.7 {
+			t.Fatalf("task %d hit fraction %g too low for idle server", c.Task.ID, frac)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/task"
+)
+
+// demandsOf builds the exact demand model of a choice vector: one
+// dbf.Offloaded per offloaded task (split sub-jobs, suspension ≤ Ri)
+// and one dbf.Sporadic per local task.
+func demandsOf(choices []Choice) ([]dbf.Demand, error) {
+	ds := make([]dbf.Demand, 0, len(choices))
+	for _, c := range choices {
+		t := c.Task
+		if c.Offload {
+			o, err := dbf.NewOffloaded(t.SetupAt(c.Level), t.SecondPhaseAt(c.Level),
+				t.Deadline, t.Period, t.Levels[c.Level].Response)
+			if err != nil {
+				return nil, err
+			}
+			ds = append(ds, o)
+		} else {
+			s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
+			if err != nil {
+				return nil, err
+			}
+			ds = append(ds, s)
+		}
+	}
+	return ds, nil
+}
+
+// ImproveWithExact upgrades a Theorem-3 decision using the exact
+// processor-demand test (QPA over the true split demand bound
+// functions) as the feasibility oracle. Theorem 3's linear bound
+// (Ci,1+Ci,2)/(Di−Ri) is pessimistic for large budgets Ri; the exact
+// test often leaves room for higher offloading levels. The pass
+// repeatedly applies the single level upgrade with the largest
+// weighted-benefit gain that QPA still admits, until none fits.
+//
+// The result may exceed 1 on the Theorem-3 scale (that is the point);
+// its ExactVerified flag is set, and the per-claim guarantee is the
+// same as the paper's: every deadline is met even if no result ever
+// returns. The input decision is not modified.
+func ImproveWithExact(d *Decision, set task.Set) (*Decision, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: nil decision")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Decision{
+		Choices:       append([]Choice(nil), d.Choices...),
+		TotalExpected: d.TotalExpected,
+		Solver:        d.Solver,
+		Repaired:      d.Repaired,
+		ExactVerified: true,
+	}
+	for {
+		bestIdx, bestLevel := -1, 0
+		bestGain := 0.0
+		for i, c := range out.Choices {
+			t := c.Task
+			from := -1 // local
+			cur := t.EffectiveWeight() * t.LocalBenefit
+			if c.Offload {
+				from = c.Level
+				cur = t.EffectiveWeight() * t.Levels[c.Level].Benefit
+			}
+			for lv := from + 1; lv < len(t.Levels); lv++ {
+				gain := t.EffectiveWeight()*t.Levels[lv].Benefit - cur
+				if gain <= bestGain {
+					continue
+				}
+				cand := out.Choices[i]
+				cand.Offload = true
+				cand.Level = lv
+				if !exactFeasibleWith(out.Choices, i, cand) {
+					continue
+				}
+				bestIdx, bestLevel, bestGain = i, lv, gain
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		c := &out.Choices[bestIdx]
+		old := c.Expected
+		c.Offload = true
+		c.Level = bestLevel
+		c.Expected = c.Task.EffectiveWeight() * c.Task.Levels[bestLevel].Benefit
+		out.TotalExpected += c.Expected - old
+	}
+	total, _ := theorem3Of(out.Choices)
+	out.Theorem3Total = total
+	return out, nil
+}
+
+// exactFeasibleWith tests QPA feasibility of choices with element i
+// replaced by cand.
+func exactFeasibleWith(choices []Choice, i int, cand Choice) bool {
+	tmp := append([]Choice(nil), choices...)
+	tmp[i] = cand
+	ds, err := demandsOf(tmp)
+	if err != nil {
+		return false
+	}
+	return dbf.QPA(ds) == nil
+}
+
+// VerifyExact runs the exact processor-demand test on a decision's
+// configuration; nil means every deadline is guaranteed.
+func VerifyExact(d *Decision) error {
+	ds, err := demandsOf(d.Choices)
+	if err != nil {
+		return err
+	}
+	return dbf.QPA(ds)
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// Fuzz-style property: for arbitrary random task sets (varied sizes,
+// utilizations, level counts, response ranges, weights, occasional
+// server bounds and constrained deadlines) every solver either reports
+// infeasibility or returns a decision that passes the exact Theorem-3
+// test, preserves one-choice-per-task, and never invents levels.
+func TestDecideFuzzProperty(t *testing.T) {
+	one := big.NewRat(1, 1)
+	check := func(seed uint64, nRaw, qRaw, utilRaw, solverRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw%12) + 1
+		q := int(qRaw % 6)
+		util := float64(utilRaw%95)/100 + 0.02
+		solver := []Solver{SolverDP, SolverHEU, SolverGreedy}[solverRaw%3]
+
+		set := make(task.Set, 0, n)
+		utils := rng.UUniFast(n, util)
+		for i := 0; i < n; i++ {
+			period := rtime.FromMillis(rng.UniformInt(10, 1000))
+			deadline := period
+			if rng.Bool(0.3) { // constrained deadline
+				deadline = period/2 + rtime.Duration(rng.Int64N(int64(period/2)))
+			}
+			c := rtime.Duration(utils[i] * float64(deadline))
+			if c <= 0 {
+				c = 1
+			}
+			tk := &task.Task{
+				ID: i, Period: period, Deadline: deadline,
+				LocalWCET: c, Setup: c/3 + 1, Compensation: c,
+				PostProcess:  c / 4,
+				LocalBenefit: rng.Uniform(0, 5),
+				Weight:       rng.Uniform(0.1, 4),
+			}
+			if rng.Bool(0.3) {
+				tk.ServerWCRT = rtime.Duration(rng.Int64N(int64(deadline))) + 1
+				if tk.PostProcess <= 0 {
+					tk.PostProcess = 1
+				}
+			}
+			prevR := rtime.Duration(0)
+			prevB := tk.LocalBenefit
+			for j := 0; j < q; j++ {
+				r := prevR + rtime.Duration(rng.Int64N(int64(deadline)))/rtime.Duration(q+1) + 1
+				b := prevB + rng.Uniform(0, 3)
+				tk.Levels = append(tk.Levels, task.Level{Response: r, Benefit: b})
+				prevR, prevB = r, b
+			}
+			if err := tk.Validate(); err != nil {
+				// Generator glitch (e.g. C > D after rounding): skip task.
+				continue
+			}
+			set = append(set, tk)
+		}
+		if len(set) == 0 {
+			return true
+		}
+		dec, err := Decide(set, Options{Solver: solver})
+		if err != nil {
+			return err == ErrInfeasible || set.Validate() != nil
+		}
+		if len(dec.Choices) != len(set) {
+			return false
+		}
+		for i, c := range dec.Choices {
+			if c.Task != set[i] {
+				return false
+			}
+			if c.Offload && (c.Level < 0 || c.Level >= len(c.Task.Levels)) {
+				return false
+			}
+		}
+		if dec.Theorem3Total.Cmp(one) > 0 {
+			return false
+		}
+		total, ok := theorem3Of(dec.Choices)
+		return ok && total.Cmp(dec.Theorem3Total) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Admission fuzz: any sequence of adds/removes leaves the manager in a
+// consistent, feasible state.
+func TestAdmissionFuzzProperty(t *testing.T) {
+	check := func(seed uint64, ops uint8) bool {
+		rng := stats.NewRNG(seed)
+		a := NewAdmission(Options{Solver: SolverHEU})
+		live := map[int]bool{}
+		for op := 0; op < int(ops%24)+4; op++ {
+			if rng.Bool(0.6) {
+				id := rng.IntN(10)
+				period := rtime.FromMillis(rng.UniformInt(20, 500))
+				c := rtime.Duration(rng.Int64N(int64(period/2))) + 1
+				tk := &task.Task{
+					ID: id, Period: period, Deadline: period,
+					LocalWCET: c, Setup: c/4 + 1, Compensation: c,
+					LocalBenefit: 1,
+					Levels:       []task.Level{{Response: period / 4, Benefit: 2}},
+				}
+				if err := a.Add(tk); err == nil {
+					if live[id] {
+						return false // duplicate admitted
+					}
+					live[id] = true
+				}
+			} else {
+				id := rng.IntN(10)
+				ok, err := a.Remove(id)
+				if err != nil {
+					return false
+				}
+				if ok != live[id] {
+					return false
+				}
+				delete(live, id)
+			}
+			// Invariants after every operation.
+			if len(a.Tasks()) != len(live) {
+				return false
+			}
+			if dec := a.Decision(); dec != nil {
+				if len(dec.Choices) != len(live) {
+					return false
+				}
+				if dec.Theorem3Total.Cmp(big.NewRat(1, 1)) > 0 {
+					return false
+				}
+			} else if len(live) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/task"
+)
+
+// guaranteedTask has a pessimistic server bound of 40ms: its second
+// level (R=50ms ≥ bound) is guaranteed and budgets only C3; its first
+// level (R=20ms < bound) still needs the full compensation.
+func guaranteedTask() *task.Task {
+	ms := rtime.FromMillis
+	return &task.Task{
+		ID: 1, Name: "bounded",
+		Period: ms(100), Deadline: ms(100),
+		LocalWCET:    ms(40),
+		Setup:        ms(4),
+		Compensation: ms(40),
+		PostProcess:  ms(2),
+		LocalBenefit: 1,
+		ServerWCRT:   ms(40),
+		Levels: []task.Level{
+			{Response: ms(20), Benefit: 5},
+			{Response: ms(50), Benefit: 9},
+		},
+	}
+}
+
+func TestGuaranteedWeightUsesPostProcess(t *testing.T) {
+	tk := guaranteedTask()
+	if tk.GuaranteedAt(0) {
+		t.Fatal("level 0 (R < bound) marked guaranteed")
+	}
+	if !tk.GuaranteedAt(1) {
+		t.Fatal("level 1 (R ≥ bound) not guaranteed")
+	}
+	if got := tk.SecondPhaseAt(0); got != rtime.FromMillis(40) {
+		t.Errorf("level 0 second phase %v, want C2", got)
+	}
+	if got := tk.SecondPhaseAt(1); got != rtime.FromMillis(2) {
+		t.Errorf("level 1 second phase %v, want C3", got)
+	}
+	// Level 0: (4+40)/(100−20) = 44/80. Level 1: (4+2)/(100−50) = 6/50.
+	w0, err := tk.OffloadWeight(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0.Cmp(big.NewRat(44, 80)) != 0 {
+		t.Errorf("w0 = %v", w0)
+	}
+	w1, err := tk.OffloadWeight(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Cmp(big.NewRat(6, 50)) != 0 {
+		t.Errorf("w1 = %v, want 6/50 (C3-based)", w1)
+	}
+}
+
+func TestGuaranteedValidation(t *testing.T) {
+	tk := guaranteedTask()
+	tk.PostProcess = 0
+	if err := tk.Validate(); err == nil {
+		t.Error("guaranteed level without C3 accepted")
+	}
+	tk = guaranteedTask()
+	tk.ServerWCRT = -1
+	if err := tk.Validate(); err == nil {
+		t.Error("negative bound accepted")
+	}
+	// Bound above every level: no guaranteed levels, C3 not required.
+	tk = guaranteedTask()
+	tk.ServerWCRT = rtime.FromMillis(500)
+	tk.PostProcess = 0
+	if err := tk.Validate(); err != nil {
+		t.Errorf("non-triggering bound rejected: %v", err)
+	}
+}
+
+// The §3 extension's payoff: with the bound, the guaranteed level is
+// far cheaper than its compensation-budgeted version, so the decision
+// can pack an otherwise impossible configuration.
+func TestGuaranteedEnablesMoreOffloading(t *testing.T) {
+	a, b := guaranteedTask(), guaranteedTask()
+	b.ID = 2
+	set := task.Set{a, b}
+	dec, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both tasks fit at the guaranteed level: 2×6/50 = 0.24.
+	for _, c := range dec.Choices {
+		if !c.Offload || c.Level != 1 {
+			t.Fatalf("choice %+v, want guaranteed level 1", c)
+		}
+	}
+	if dec.TotalExpected != 18 {
+		t.Fatalf("expected benefit %g", dec.TotalExpected)
+	}
+	// Without the bound the same levels cost (4+40)/50 = 0.88 each:
+	// only one task could take level 1.
+	a2, b2 := guaranteedTask(), guaranteedTask()
+	a2.ServerWCRT, b2.ServerWCRT = 0, 0
+	b2.ID = 2
+	dec2, err := Decide(task.Set{a2, b2}, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.TotalExpected >= dec.TotalExpected {
+		t.Fatalf("unbounded decision %g not worse than bounded %g", dec2.TotalExpected, dec.TotalExpected)
+	}
+}
+
+// End to end: against a reservation-backed (Bounded) server the
+// guaranteed configuration runs hit-only and miss-free; against a
+// misbehaving server the violation counter trips.
+func TestGuaranteedSimulation(t *testing.T) {
+	a, b := guaranteedTask(), guaranteedTask()
+	b.ID = 2
+	set := task.Set{a, b}
+	dec, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := server.Bounded{Inner: server.Fixed{Lost: true}, Bound: rtime.FromMillis(40)}
+	res, err := sched.Run(sched.Config{
+		Assignments: dec.Assignments(),
+		Server:      good,
+		Horizon:     rtime.FromSeconds(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses with honest bound", res.Misses)
+	}
+	for _, st := range res.PerTask {
+		if st.Compensations != 0 || st.BoundViolations != 0 {
+			t.Fatalf("compensations with honest bound: %+v", st)
+		}
+		if st.Hits != st.Finished {
+			t.Fatalf("not all hits: %+v", st)
+		}
+	}
+
+	// A server that ignores its advertised bound: violations recorded.
+	bad := server.Fixed{Latency: rtime.FromMillis(80)}
+	res, err = sched.Run(sched.Config{
+		Assignments: dec.Assignments(),
+		Server:      bad,
+		Horizon:     rtime.FromSeconds(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := 0
+	for _, st := range res.PerTask {
+		viol += st.BoundViolations
+	}
+	if viol == 0 {
+		t.Fatal("bound violations not recorded")
+	}
+}
+
+// Closing the loop with the related-work reservation server [10]: its
+// WCRT bound feeds task.ServerWCRT, the decision budgets only Ci,3,
+// and the simulated reservation never violates the bound — so the
+// cheap guaranteed configuration runs hit-only.
+func TestReservationBackedGuarantee(t *testing.T) {
+	ms := rtime.FromMillis
+	resCfg := server.ReservationConfig{
+		Budget:         ms(4),
+		Period:         ms(10),
+		ServicePerByte: 0.1,
+		ServiceFloor:   ms(1),
+		TransferBound:  ms(2),
+	}
+	const payload = 70_000
+	bound := resCfg.WCRTBound(payload) // 26ms
+
+	// Reservations are per task (the related work reserves capacity per
+	// offloaded task): each task routes to its own named reservation.
+	mk := func(id int, resName string) *task.Task {
+		return &task.Task{
+			ID: id, Period: ms(100), Deadline: ms(100),
+			LocalWCET: ms(40), Setup: ms(4), Compensation: ms(40),
+			PostProcess:  ms(2),
+			LocalBenefit: 1,
+			ServerWCRT:   bound,
+			Levels: []task.Level{
+				{Response: bound, Benefit: 9, PayloadBytes: payload, ServerID: resName},
+			},
+		}
+	}
+	set := task.Set{mk(1, "res1"), mk(2, "res2")}
+	dec, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guaranteed weight (4+2)/(100−26) per task: both offload.
+	if dec.OffloadedCount() != 2 {
+		t.Fatalf("offloaded %d, want 2 (choices %+v)", dec.OffloadedCount(), dec.Choices)
+	}
+	servers := map[string]server.Server{}
+	for _, name := range []string{"res1", "res2"} {
+		srv, err := server.NewReservation(resCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[name] = srv
+	}
+	res, err := sched.Run(sched.Config{
+		Assignments: dec.Assignments(),
+		Servers:     servers,
+		Horizon:     rtime.FromSeconds(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses", res.Misses)
+	}
+	for _, st := range res.PerTask {
+		if st.Compensations != 0 || st.BoundViolations != 0 {
+			t.Fatalf("reservation violated its own bound: %+v", st)
+		}
+		if st.Hits != st.Finished {
+			t.Fatalf("not all hits: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package dbf implements demand-bound-function analysis for the
+// paper's scheduling algorithm (§5.1, Theorems 1–3).
+//
+// A Demand models the worst-case execution demand a task can place in
+// any window of a given length. Two concrete demands are provided:
+//
+//   - Sporadic: a classic sporadic task (Ci, Di, Ti) — the paper's
+//     locally executed tasks (Theorem 2, after Baruah et al. 1990).
+//   - Offloaded: a task split into a setup sub-job (Ci,1, deadline
+//     Di,1) and a compensation/post-processing sub-job (Ci,2, absolute
+//     deadline t+Di) separated by a suspension of at most Ri. Its DBF
+//     is the exact worst case over window alignments of the split
+//     model, which refines the paper's linear Theorem-1 bound
+//     (Ci,1+Ci,2)/(Di−Ri)·t.
+//
+// On top of the demands, the package provides the paper's Theorem-3
+// density test in exact rational arithmetic, the processor demand
+// criterion (PDC) over all demand steps up to a rigorous busy-window
+// horizon, and QPA (Zhang & Burns 2009) as a faster exact test.
+package dbf
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"rtoffload/internal/rtime"
+)
+
+// Demand is the worst-case execution demand of one task.
+type Demand interface {
+	// DBF returns the maximum execution time of jobs that both arrive
+	// in and have deadlines in any window of length t.
+	DBF(t rtime.Duration) rtime.Duration
+	// Rate is the long-run demand growth rate: lim DBF(t)/t.
+	Rate() *big.Rat
+	// Burst is an additive constant with DBF(t) ≤ Rate·t + Burst for
+	// all t ≥ 0; it bounds the transient excess over the long-run rate
+	// and determines the analysis horizon.
+	Burst() *big.Rat
+	// StepsUpTo lists every t ≤ limit where DBF increases, ascending.
+	StepsUpTo(limit rtime.Duration) []rtime.Duration
+	// PrevStep returns the largest step strictly below t, or 0 when
+	// none exists.
+	PrevStep(t rtime.Duration) rtime.Duration
+}
+
+// count returns the number of deadlines at offsets off, off+T,
+// off+2T, … that are ≤ t (zero when t < off).
+func count(t, off, period rtime.Duration) int64 {
+	if t < off {
+		return 0
+	}
+	return rtime.FloorDiv(t-off, period) + 1
+}
+
+// stepsForOffset appends the steps off, off+T, … ≤ limit to dst.
+func stepsForOffset(dst []rtime.Duration, off, period, limit rtime.Duration) []rtime.Duration {
+	for s := off; s <= limit; s += period {
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// prevForOffset returns the largest value of off+kT (k ≥ 0) strictly
+// below t, or 0.
+func prevForOffset(t, off, period rtime.Duration) rtime.Duration {
+	if t <= off {
+		return 0
+	}
+	k := rtime.FloorDiv(t-off-1, period)
+	return off + rtime.Duration(k)*period
+}
+
+// Sporadic is the demand of a sporadic task with WCET C, relative
+// deadline D and minimum inter-arrival time T (D ≤ T).
+type Sporadic struct {
+	C, D, T rtime.Duration
+}
+
+// NewSporadic validates the parameters.
+func NewSporadic(c, d, t rtime.Duration) (Sporadic, error) {
+	switch {
+	case t <= 0:
+		return Sporadic{}, fmt.Errorf("dbf: period %v must be positive", t)
+	case d <= 0 || d > t:
+		return Sporadic{}, fmt.Errorf("dbf: deadline %v out of (0, %v]", d, t)
+	case c <= 0 || c > d:
+		return Sporadic{}, fmt.Errorf("dbf: WCET %v out of (0, %v]", c, d)
+	}
+	return Sporadic{C: c, D: d, T: t}, nil
+}
+
+// DBF implements the classic sporadic demand bound
+// max(0, ⌊(t−D)/T⌋+1)·C.
+func (s Sporadic) DBF(t rtime.Duration) rtime.Duration {
+	return rtime.Duration(count(t, s.D, s.T)) * s.C
+}
+
+// Rate returns C/T.
+func (s Sporadic) Rate() *big.Rat { return rtime.Ratio(s.C, s.T) }
+
+// Burst returns C·(T−D)/T, from DBF(t) ≤ C·(t−D+T)/T.
+func (s Sporadic) Burst() *big.Rat {
+	b := rtime.Ratio(s.T-s.D, s.T)
+	return b.Mul(b, s.C.Rat())
+}
+
+// StepsUpTo lists D, D+T, D+2T, … ≤ limit.
+func (s Sporadic) StepsUpTo(limit rtime.Duration) []rtime.Duration {
+	return stepsForOffset(nil, s.D, s.T, limit)
+}
+
+// PrevStep returns the largest step below t.
+func (s Sporadic) PrevStep(t rtime.Duration) rtime.Duration {
+	return prevForOffset(t, s.D, s.T)
+}
+
+// SplitDeadline computes the setup sub-job's relative deadline of the
+// paper's scheduling algorithm (§5.1):
+//
+//	Di,1 = Ci,1 · (Di − Ri) / (Ci,1 + Ci,2)
+//
+// floored to the microsecond grid. When the Theorem-3 term
+// (Ci,1+Ci,2)/(Di−Ri) is ≤ 1, the floored Di,1 is still ≥ Ci,1.
+func SplitDeadline(c1, c2, d, r rtime.Duration) (rtime.Duration, error) {
+	if c1 <= 0 || c2 <= 0 {
+		return 0, fmt.Errorf("dbf: setup/compensation WCETs must be positive (C1=%v, C2=%v)", c1, c2)
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("dbf: negative response budget %v", r)
+	}
+	if d-r <= 0 {
+		return 0, fmt.Errorf("dbf: response budget %v leaves no slack before deadline %v", r, d)
+	}
+	d1 := rtime.Duration(int64(c1) * int64(d-r) / int64(c1+c2))
+	if d1 <= 0 {
+		return 0, fmt.Errorf("dbf: split deadline underflows the time grid (C1=%v, D−R=%v, C1+C2=%v)", c1, d-r, c1+c2)
+	}
+	return d1, nil
+}
+
+// Offloaded is the demand of an offloaded task under the paper's
+// split-deadline EDF scheduling: setup sub-job (C1, relative deadline
+// D1), suspension ≤ R, then a second sub-job (C2 worst case, absolute
+// deadline release+D). D ≤ T.
+type Offloaded struct {
+	C1, C2 rtime.Duration
+	D, T   rtime.Duration
+	R      rtime.Duration
+	D1     rtime.Duration
+}
+
+// NewOffloaded validates parameters and computes D1 via SplitDeadline.
+func NewOffloaded(c1, c2, d, t, r rtime.Duration) (Offloaded, error) {
+	if t <= 0 || d <= 0 || d > t {
+		return Offloaded{}, fmt.Errorf("dbf: deadline %v / period %v invalid", d, t)
+	}
+	d1, err := SplitDeadline(c1, c2, d, r)
+	if err != nil {
+		return Offloaded{}, err
+	}
+	if c1 > d1 {
+		return Offloaded{}, fmt.Errorf("dbf: setup WCET %v exceeds split deadline %v (over-dense: (C1+C2)/(D−R) > 1)", c1, d1)
+	}
+	if rem := d - d1 - r; c2 > rem {
+		return Offloaded{}, fmt.Errorf("dbf: compensation WCET %v exceeds remaining window %v", c2, rem)
+	}
+	return Offloaded{C1: c1, C2: c2, D: d, T: t, R: r, D1: d1}, nil
+}
+
+// DBF returns the exact worst-case demand of the split model: the
+// maximum over the two critical window alignments — (a) the window
+// starts at a job release; (b) the window starts at the latest possible
+// arrival of a second sub-job (release + D1 + R), with the preceding
+// setup outside the window.
+func (o Offloaded) DBF(t rtime.Duration) rtime.Duration {
+	if t <= 0 {
+		return 0
+	}
+	a := rtime.Duration(count(t, o.D1, o.T))*o.C1 +
+		rtime.Duration(count(t, o.D, o.T))*o.C2
+	b := rtime.Duration(count(t, o.D-o.D1-o.R, o.T))*o.C2 +
+		rtime.Duration(count(t, o.T-o.R, o.T))*o.C1
+	return rtime.Max(a, b)
+}
+
+// Rate returns the long-run rate (C1+C2)/T.
+func (o Offloaded) Rate() *big.Rat { return rtime.Ratio(o.C1+o.C2, o.T) }
+
+// Burst bounds the transient excess: from alignment (a),
+// DBF ≤ (C1+C2)/T·t + C1(T−D1)/T + C2(T−D)/T; from (b) the constant is
+// C2(T−D+D1+R)/T + C1·R/T. Burst is the larger of the two.
+func (o Offloaded) Burst() *big.Rat {
+	t := o.T.Rat()
+	a := new(big.Rat).Add(
+		mulRat(rtime.Ratio(o.T-o.D1, o.T), o.C1),
+		mulRat(rtime.Ratio(o.T-o.D, o.T), o.C2),
+	)
+	b := new(big.Rat).Add(
+		mulRat(rtime.Ratio(o.T-o.D+o.D1+o.R, o.T), o.C2),
+		mulRat(new(big.Rat).Quo(o.R.Rat(), t), o.C1),
+	)
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func mulRat(r *big.Rat, d rtime.Duration) *big.Rat {
+	return new(big.Rat).Mul(r, d.Rat())
+}
+
+// LinearBound evaluates the paper's Theorem-1 upper bound
+// (C1+C2)/(D−R)·t exactly.
+func (o Offloaded) LinearBound(t rtime.Duration) *big.Rat {
+	return mulRat(rtime.Ratio(o.C1+o.C2, o.D-o.R), t)
+}
+
+// Theorem1Rate returns (C1+C2)/(D−R), the task's contribution to the
+// Theorem-3 sum.
+func (o Offloaded) Theorem1Rate() *big.Rat {
+	return rtime.Ratio(o.C1+o.C2, o.D-o.R)
+}
+
+// offsets returns the four step offsets of the two alignments.
+func (o Offloaded) offsets() [4]rtime.Duration {
+	return [4]rtime.Duration{o.D1, o.D, o.D - o.D1 - o.R, o.T - o.R}
+}
+
+// StepsUpTo lists all points ≤ limit where either alignment's demand
+// increases, deduplicated and ascending.
+func (o Offloaded) StepsUpTo(limit rtime.Duration) []rtime.Duration {
+	var steps []rtime.Duration
+	for _, off := range o.offsets() {
+		if off <= 0 {
+			continue
+		}
+		steps = stepsForOffset(steps, off, o.T, limit)
+	}
+	return dedupSorted(steps)
+}
+
+// PrevStep returns the largest step below t across both alignments.
+func (o Offloaded) PrevStep(t rtime.Duration) rtime.Duration {
+	best := rtime.Duration(0)
+	for _, off := range o.offsets() {
+		if off <= 0 {
+			continue
+		}
+		if p := prevForOffset(t, off, o.T); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+func dedupSorted(xs []rtime.Duration) []rtime.Duration {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TotalDBF sums the demands at window length t.
+func TotalDBF(ds []Demand, t rtime.Duration) rtime.Duration {
+	var sum rtime.Duration
+	for _, d := range ds {
+		sum += d.DBF(t)
+	}
+	return sum
+}
+
+// TotalRate sums the long-run rates.
+func TotalRate(ds []Demand) *big.Rat {
+	u := new(big.Rat)
+	for _, d := range ds {
+		u.Add(u, d.Rate())
+	}
+	return u
+}

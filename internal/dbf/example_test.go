@@ -1,0 +1,57 @@
+package dbf_test
+
+import (
+	"fmt"
+
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/rtime"
+)
+
+// ExampleTheorem3 evaluates the paper's schedulability test for one
+// offloaded and one local task in exact rational arithmetic.
+func ExampleTheorem3() {
+	ms := rtime.FromMillis
+	off, err := dbf.NewOffloaded(ms(5), ms(30), ms(100), ms(100), ms(20))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	loc, err := dbf.NewSporadic(ms(2), ms(10), ms(10))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	total, ok := dbf.Theorem3([]dbf.Offloaded{off}, []dbf.Sporadic{loc})
+	fmt.Printf("total=%s schedulable=%v\n", total.RatString(), ok)
+	// Output:
+	// total=51/80 schedulable=true
+}
+
+// ExampleSplitDeadline computes the setup sub-job deadline of §5.1.
+func ExampleSplitDeadline() {
+	ms := rtime.FromMillis
+	d1, err := dbf.SplitDeadline(ms(5), ms(30), ms(100), ms(20))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// D1 = 5·(100−20)/35 ms = 80/7 ms, floored to the µs grid.
+	fmt.Printf("D1 = %.4f ms\n", d1.Millis())
+	// Output:
+	// D1 = 11.4280 ms
+}
+
+// ExampleQPA runs the exact processor-demand test that refines
+// Theorem 3's linear bound.
+func ExampleQPA() {
+	ms := rtime.FromMillis
+	// Theorem 3 rejects this task pair ((10+30)/45 + 20/100 > 1)…
+	off, _ := dbf.NewOffloaded(ms(10), ms(30), ms(100), ms(100), ms(55))
+	loc, _ := dbf.NewSporadic(ms(20), ms(100), ms(100))
+	_, ok := dbf.Theorem3([]dbf.Offloaded{off}, []dbf.Sporadic{loc})
+	// …but the exact demand analysis admits it.
+	err := dbf.QPA([]dbf.Demand{off, loc})
+	fmt.Printf("theorem3=%v exact=%v\n", ok, err == nil)
+	// Output:
+	// theorem3=false exact=true
+}

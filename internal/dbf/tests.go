@@ -1,0 +1,186 @@
+package dbf
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"rtoffload/internal/rtime"
+)
+
+var one = big.NewRat(1, 1)
+
+// Theorem3 evaluates the paper's schedulability test (Theorem 3) in
+// exact rational arithmetic:
+//
+//	Σ_{τi ∈ To} (Ci,1+Ci,2)/(Di−Ri)  +  Σ_{τi ∈ Tl} Ci/Di  ≤  1
+//
+// For implicit-deadline local tasks Ci/Di equals the paper's Ci/Ti;
+// using the deadline keeps the test sufficient for the
+// constrained-deadline extension as well. It returns the exact total
+// and whether the test passes.
+func Theorem3(offloaded []Offloaded, local []Sporadic) (total *big.Rat, ok bool) {
+	total = new(big.Rat)
+	for _, o := range offloaded {
+		total.Add(total, o.Theorem1Rate())
+	}
+	for _, l := range local {
+		total.Add(total, rtime.Ratio(l.C, l.D))
+	}
+	return total, total.Cmp(one) <= 0
+}
+
+// ErrOverloaded reports a long-run demand rate ≥ 1, for which no
+// finite analysis horizon exists.
+var ErrOverloaded = errors.New("dbf: total long-run demand rate ≥ 1")
+
+// Horizon returns a rigorous upper bound on the length of any window
+// that can witness a demand violation: any t with ΣDBF(t) > t
+// satisfies t < ΣBurst / (1 − ΣRate). Windows beyond the horizon need
+// not be checked. Fails with ErrOverloaded when ΣRate ≥ 1.
+func Horizon(ds []Demand) (rtime.Duration, error) {
+	u := TotalRate(ds)
+	if u.Cmp(one) >= 0 {
+		return 0, ErrOverloaded
+	}
+	burst := new(big.Rat)
+	for _, d := range ds {
+		burst.Add(burst, d.Burst())
+	}
+	den := new(big.Rat).Sub(one, u)
+	h := new(big.Rat).Quo(burst, den)
+	// Round up to the next microsecond; a zero burst means demand never
+	// exceeds rate·t < t, so any positive horizon works.
+	f, _ := h.Float64()
+	if f < 1 {
+		return 1, nil
+	}
+	num := new(big.Int).Set(h.Num())
+	den2 := h.Denom()
+	q := new(big.Int).Div(num, den2)
+	if new(big.Int).Mul(q, den2).Cmp(num) != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		return 0, fmt.Errorf("dbf: analysis horizon overflows int64 microseconds: %v", q)
+	}
+	return rtime.Duration(q.Int64()), nil
+}
+
+// Violation describes a failed demand test: at window length T the
+// accumulated demand exceeds the available time.
+type Violation struct {
+	T      rtime.Duration
+	Demand rtime.Duration
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("dbf: demand %v exceeds window %v", v.Demand, v.T)
+}
+
+// PDC runs the processor demand criterion: the system is EDF-feasible
+// on a unit-speed processor iff ΣDBF(t) ≤ t for every step t up to the
+// analysis horizon. It returns nil when feasible, a *Violation when a
+// window is overloaded, and ErrOverloaded when the long-run rate is
+// ≥ 1 with positive demand growth.
+func PDC(ds []Demand) error {
+	h, err := Horizon(ds)
+	if err != nil {
+		return err
+	}
+	// Merge the per-demand step lists lazily: collect and scan.
+	steps := make([]rtime.Duration, 0, 1024)
+	for _, d := range ds {
+		steps = append(steps, d.StepsUpTo(h)...)
+	}
+	steps = dedupSorted(steps)
+	for _, t := range steps {
+		if dem := TotalDBF(ds, t); dem > t {
+			return &Violation{T: t, Demand: dem}
+		}
+	}
+	return nil
+}
+
+// QPA runs Zhang & Burns' Quick Processor-demand Analysis, an exact
+// test equivalent to PDC that scans backwards from the horizon and
+// typically evaluates orders of magnitude fewer points.
+func QPA(ds []Demand) error {
+	h, err := Horizon(ds)
+	if err != nil {
+		return err
+	}
+	dmin := minStep(ds, h)
+	if dmin == 0 {
+		return nil // no demand steps at all
+	}
+	// Zhang & Burns, Algorithm 1:
+	//
+	//	t := max{step < L}
+	//	while h(t) ≤ t ∧ h(t) > dmin:
+	//	    if h(t) < t: t := h(t) else t := max{step < t}
+	//	feasible iff h(t) ≤ dmin at exit (otherwise h(t) > t).
+	t := prevStepAll(ds, h+1)
+	for t >= dmin {
+		dem := TotalDBF(ds, t)
+		if dem > t {
+			return &Violation{T: t, Demand: dem}
+		}
+		if dem <= dmin {
+			// No window below t can be overloaded: demand below dmin
+			// never exceeds dmin ≤ any remaining step.
+			return nil
+		}
+		if dem < t {
+			t = dem
+		} else {
+			t = prevStepAll(ds, t)
+		}
+	}
+	return nil
+}
+
+// prevStepAll returns the largest step of any demand strictly below t.
+func prevStepAll(ds []Demand, t rtime.Duration) rtime.Duration {
+	best := rtime.Duration(0)
+	for _, d := range ds {
+		if p := d.PrevStep(t); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// minStep returns the smallest step of any demand within the horizon,
+// or 0 when there are none.
+func minStep(ds []Demand, h rtime.Duration) rtime.Duration {
+	best := rtime.Duration(0)
+	for _, d := range ds {
+		ss := d.StepsUpTo(h)
+		if len(ss) == 0 {
+			continue
+		}
+		if best == 0 || ss[0] < best {
+			best = ss[0]
+		}
+	}
+	return best
+}
+
+// Hyperperiod returns the least common multiple of the tasks' periods,
+// reporting ok=false on overflow. Useful for simulation horizons on
+// harmonic sets; the analysis itself uses Horizon instead.
+func Hyperperiod(periods []rtime.Duration) (rtime.Duration, bool) {
+	if len(periods) == 0 {
+		return 0, false
+	}
+	l := periods[0]
+	for _, p := range periods[1:] {
+		var ok bool
+		l, ok = rtime.LCM(l, p)
+		if !ok {
+			return 0, false
+		}
+	}
+	return l, true
+}

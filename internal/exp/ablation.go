@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"fmt"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// SolverAblationRow compares decision quality across MCKP solvers on
+// the paper's random task sets (ablation B of DESIGN.md).
+type SolverAblationRow struct {
+	Solver core.Solver
+	// MeanQuality is the expected benefit normalized to the DP answer,
+	// averaged over trials.
+	MeanQuality float64
+	// WorstQuality is the minimum across trials.
+	WorstQuality float64
+}
+
+// SolverAblation runs DP, HEU-OE and greedy over `trials` random
+// Figure-3 task sets and reports their quality relative to DP.
+func SolverAblation(seed uint64, trials int) ([]SolverAblationRow, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("exp: trials must be positive")
+	}
+	solvers := []core.Solver{core.SolverDP, core.SolverHEU, core.SolverGreedy}
+	sum := map[core.Solver]float64{}
+	worst := map[core.Solver]float64{}
+	for _, s := range solvers {
+		worst[s] = 1
+	}
+	rng := stats.NewRNG(seed)
+	for trial := 0; trial < trials; trial++ {
+		set, err := task.GenerateFigure3(rng.Fork(), task.DefaultFigure3Params())
+		if err != nil {
+			return nil, err
+		}
+		dp, err := core.Decide(set, core.Options{Solver: core.SolverDP})
+		if err != nil {
+			return nil, err
+		}
+		if dp.TotalExpected <= 0 {
+			return nil, fmt.Errorf("exp: degenerate DP answer in trial %d", trial)
+		}
+		for _, s := range solvers {
+			var q float64
+			if s == core.SolverDP {
+				q = 1
+			} else {
+				d, err := core.Decide(set, core.Options{Solver: s})
+				if err != nil {
+					return nil, err
+				}
+				q = d.TotalExpected / dp.TotalExpected
+			}
+			sum[s] += q
+			if q < worst[s] {
+				worst[s] = q
+			}
+		}
+	}
+	rows := make([]SolverAblationRow, 0, len(solvers))
+	for _, s := range solvers {
+		rows = append(rows, SolverAblationRow{
+			Solver:       s,
+			MeanQuality:  sum[s] / float64(trials),
+			WorstQuality: worst[s],
+		})
+	}
+	return rows, nil
+}
+
+// NaiveEDFAblationRow compares deadline splitting against naive EDF at
+// one Theorem-3 load level (ablation A).
+type NaiveEDFAblationRow struct {
+	// TargetLoad is the Theorem-3 total the generated systems aim for.
+	TargetLoad float64
+	Systems    int
+	// SplitMissRate / NaiveMissRate: fraction of systems with at least
+	// one deadline miss under the adversarial never-responding server.
+	SplitMissRate float64
+	NaiveMissRate float64
+}
+
+// NaiveEDFAblation generates offload-heavy systems across a sweep of
+// Theorem-3 load levels and simulates both deadline-assignment
+// policies against a server that never returns results (every job
+// compensates — the worst case for the second sub-job).
+func NaiveEDFAblation(seed uint64, loads []float64, perLoad int) ([]NaiveEDFAblationRow, error) {
+	if len(loads) == 0 || perLoad <= 0 {
+		return nil, fmt.Errorf("exp: loads and perLoad must be non-empty")
+	}
+	rng := stats.NewRNG(seed)
+	rows := make([]NaiveEDFAblationRow, 0, len(loads))
+	for _, load := range loads {
+		if load <= 0 || load > 1 {
+			return nil, fmt.Errorf("exp: load %g out of (0,1]", load)
+		}
+		row := NaiveEDFAblationRow{TargetLoad: load}
+		for sysi := 0; sysi < perLoad; sysi++ {
+			asgs, ok := genOffloadSystem(rng, load)
+			if !ok {
+				continue
+			}
+			row.Systems++
+			splitMiss, err := missUnderPolicy(asgs, sched.SplitEDF)
+			if err != nil {
+				return nil, err
+			}
+			naiveMiss, err := missUnderPolicy(asgs, sched.NaiveEDF)
+			if err != nil {
+				return nil, err
+			}
+			if splitMiss {
+				row.SplitMissRate++
+			}
+			if naiveMiss {
+				row.NaiveMissRate++
+			}
+		}
+		if row.Systems > 0 {
+			row.SplitMissRate /= float64(row.Systems)
+			row.NaiveMissRate /= float64(row.Systems)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// genOffloadSystem draws an adversarial-for-naive-EDF system at the
+// target Theorem-3 load: one offloaded task with a budget Ri close to
+// its deadline (so its compensation window is thin) plus
+// shorter-period local tasks whose jobs have earlier absolute
+// deadlines. Under the paper's split deadlines the setup sub-job
+// outranks the local jobs and everything fits; under naive EDF the
+// setup inherits the late deadline, gets pushed behind the local
+// burst, and the compensation overruns.
+func genOffloadSystem(rng *stats.RNG, load float64) ([]sched.Assignment, bool) {
+	n := rng.IntN(3) + 2 // local tasks
+	shares := rng.UUniFast(n+1, load)
+	var asgs []sched.Assignment
+	var off []dbf.Offloaded
+	var loc []dbf.Sporadic
+
+	// The tight offloaded task.
+	period := rtime.FromMillis(rng.UniformInt(150, 300))
+	r := rtime.Duration(rng.Uniform(0.7, 0.88) * float64(period))
+	budgetTotal := rtime.Duration(shares[0] * float64(period-r))
+	if budgetTotal < 4 {
+		return nil, false
+	}
+	c1 := budgetTotal / 4
+	if c1 < 1 {
+		c1 = 1
+	}
+	c2 := budgetTotal - c1
+	o, err := dbf.NewOffloaded(c1, c2, period, period, r)
+	if err != nil {
+		return nil, false
+	}
+	off = append(off, o)
+	asgs = append(asgs, sched.Assignment{Task: &task.Task{
+		ID: 0, Period: period, Deadline: period,
+		LocalWCET: c2, Setup: c1, Compensation: c2,
+		LocalBenefit: 1,
+		Levels:       []task.Level{{Response: r, Benefit: 2}},
+	}, Offload: true})
+
+	// Short-period local tasks filling the rest of the load.
+	for i := 0; i < n; i++ {
+		lp := rtime.FromMillis(rng.UniformInt(30, 100))
+		c := rtime.Duration(shares[i+1] * float64(lp))
+		if c < 1 {
+			c = 1
+		}
+		s, err := dbf.NewSporadic(c, lp, lp)
+		if err != nil {
+			return nil, false
+		}
+		loc = append(loc, s)
+		asgs = append(asgs, sched.Assignment{Task: &task.Task{
+			ID: i + 1, Period: lp, Deadline: lp, LocalWCET: c, LocalBenefit: 1,
+		}})
+	}
+	if _, ok := dbf.Theorem3(off, loc); !ok {
+		return nil, false
+	}
+	return asgs, true
+}
+
+func missUnderPolicy(asgs []sched.Assignment, p sched.Policy) (bool, error) {
+	maxT := rtime.Duration(0)
+	for _, a := range asgs {
+		if a.Task.Period > maxT {
+			maxT = a.Task.Period
+		}
+	}
+	res, err := sched.Run(sched.Config{
+		Assignments: asgs,
+		Server:      server.Fixed{Lost: true},
+		Horizon:     10 * maxT,
+		Policy:      p,
+	})
+	if err != nil {
+		return false, err
+	}
+	return res.Misses > 0, nil
+}
+
+// DBFAblationRow compares acceptance of the paper's Theorem-3 test
+// against the exact processor-demand test (QPA over the true split
+// dbf) at one load level (ablation C).
+type DBFAblationRow struct {
+	TargetLoad float64
+	Systems    int
+	// Accepted counts per test.
+	Theorem3Accepted int
+	ExactAccepted    int
+}
+
+// DBFAblation sweeps nominal load levels; at each level it generates
+// systems whose *Theorem-3* total is near the level (some above 1) and
+// counts how many each test admits. The exact test dominates: it
+// accepts everything Theorem 3 accepts plus systems whose linear bound
+// is pessimistic (large Ri).
+func DBFAblation(seed uint64, loads []float64, perLoad int) ([]DBFAblationRow, error) {
+	if len(loads) == 0 || perLoad <= 0 {
+		return nil, fmt.Errorf("exp: loads and perLoad must be non-empty")
+	}
+	rng := stats.NewRNG(seed)
+	rows := make([]DBFAblationRow, 0, len(loads))
+	for _, load := range loads {
+		row := DBFAblationRow{TargetLoad: load}
+		for sysi := 0; sysi < perLoad; sysi++ {
+			n := rng.IntN(5) + 2
+			shares := rng.UUniFast(n, load)
+			var off []dbf.Offloaded
+			var ds []dbf.Demand
+			ok := true
+			for i := 0; i < n && ok; i++ {
+				period := rtime.FromMillis(rng.UniformInt(50, 400))
+				r := rtime.Duration(rng.Int64N(int64(period * 3 / 4)))
+				budgetTotal := rtime.Duration(shares[i] * float64(period-r))
+				if budgetTotal < 2 || budgetTotal > period {
+					ok = false
+					break
+				}
+				c1 := budgetTotal / 4
+				if c1 < 1 {
+					c1 = 1
+				}
+				o, err := dbf.NewOffloaded(c1, budgetTotal-c1, period, period, r)
+				if err != nil {
+					ok = false
+					break
+				}
+				off = append(off, o)
+				ds = append(ds, o)
+			}
+			if !ok {
+				continue
+			}
+			row.Systems++
+			if _, pass := dbf.Theorem3(off, nil); pass {
+				row.Theorem3Accepted++
+			}
+			if err := dbf.QPA(ds); err == nil {
+				row.ExactAccepted++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

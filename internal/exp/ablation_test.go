@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"testing"
+
+	"rtoffload/internal/core"
+)
+
+func TestSolverAblation(t *testing.T) {
+	rows, err := SolverAblation(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[core.Solver]SolverAblationRow{}
+	for _, r := range rows {
+		byName[r.Solver] = r
+		if r.MeanQuality <= 0 || r.MeanQuality > 1.001 {
+			t.Errorf("%v: mean quality %g", r.Solver, r.MeanQuality)
+		}
+		if r.WorstQuality > r.MeanQuality+1e-9 {
+			t.Errorf("%v: worst %g above mean %g", r.Solver, r.WorstQuality, r.MeanQuality)
+		}
+	}
+	if byName[core.SolverDP].MeanQuality != 1 {
+		t.Errorf("DP mean %g, want 1 (self-normalized)", byName[core.SolverDP].MeanQuality)
+	}
+	// HEU-OE should be near-optimal on these instances; greedy clearly
+	// worse or equal.
+	if byName[core.SolverHEU].MeanQuality < 0.9 {
+		t.Errorf("HEU mean quality %g surprisingly poor", byName[core.SolverHEU].MeanQuality)
+	}
+	if byName[core.SolverGreedy].MeanQuality > byName[core.SolverHEU].MeanQuality+0.05 {
+		t.Errorf("greedy (%g) clearly beats HEU (%g)?", byName[core.SolverGreedy].MeanQuality, byName[core.SolverHEU].MeanQuality)
+	}
+	if _, err := SolverAblation(1, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// Ablation A: the paper's deadline splitting keeps every Theorem-3
+// feasible system miss-free; naive EDF starts missing deadlines as the
+// load grows.
+func TestNaiveEDFAblation(t *testing.T) {
+	rows, err := NaiveEDFAblation(7, []float64{0.5, 0.8, 0.95}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	sawNaiveMiss := false
+	for _, r := range rows {
+		if r.Systems == 0 {
+			t.Fatalf("load %g: no systems generated", r.TargetLoad)
+		}
+		if r.SplitMissRate != 0 {
+			t.Fatalf("load %g: split EDF missed deadlines (%g)", r.TargetLoad, r.SplitMissRate)
+		}
+		if r.NaiveMissRate > 0 {
+			sawNaiveMiss = true
+		}
+	}
+	// At 95 % Theorem-3 load, naive EDF must be failing regularly.
+	last := rows[len(rows)-1]
+	if last.NaiveMissRate < 0.3 {
+		t.Errorf("naive miss rate %g at load %g suspiciously low", last.NaiveMissRate, last.TargetLoad)
+	}
+	if !sawNaiveMiss {
+		t.Error("naive EDF never missed — ablation shows nothing")
+	}
+	if _, err := NaiveEDFAblation(1, nil, 5); err == nil {
+		t.Error("empty loads accepted")
+	}
+	if _, err := NaiveEDFAblation(1, []float64{1.5}, 5); err == nil {
+		t.Error("load > 1 accepted")
+	}
+}
+
+// Ablation C: the exact dbf test dominates Theorem 3 — it accepts at
+// least as many systems at every load and strictly more beyond
+// capacity 1.
+func TestDBFAblation(t *testing.T) {
+	rows, err := DBFAblation(11, []float64{0.6, 0.9, 1.1, 1.3}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictly := false
+	for _, r := range rows {
+		if r.Systems == 0 {
+			continue
+		}
+		if r.ExactAccepted < r.Theorem3Accepted {
+			t.Fatalf("load %g: exact test accepted fewer (%d) than Theorem 3 (%d)",
+				r.TargetLoad, r.ExactAccepted, r.Theorem3Accepted)
+		}
+		if r.ExactAccepted > r.Theorem3Accepted {
+			strictly = true
+		}
+		if r.TargetLoad > 1 && r.Theorem3Accepted > 0 {
+			t.Fatalf("load %g: Theorem 3 accepted an over-unit system", r.TargetLoad)
+		}
+	}
+	if !strictly {
+		t.Error("exact test never strictly better — ablation shows nothing")
+	}
+	if _, err := DBFAblation(1, nil, 5); err == nil {
+		t.Error("empty loads accepted")
+	}
+}

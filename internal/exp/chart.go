@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/server"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Glyph  byte
+	Values []float64
+}
+
+// RenderChart draws an ASCII line chart of the series over a shared
+// x-index (category) axis — enough to eyeball the shape of Figure 2
+// and Figure 3 in a terminal. Height is the number of plot rows
+// (excluding axes); all series must have equal, non-zero length.
+func RenderChart(w io.Writer, title string, xlabels []string, series []Series, height int) error {
+	if height < 3 {
+		return fmt.Errorf("exp: chart height %d too small", height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("exp: no series")
+	}
+	n := len(series[0].Values)
+	if n == 0 {
+		return fmt.Errorf("exp: empty series")
+	}
+	for _, s := range series {
+		if len(s.Values) != n {
+			return fmt.Errorf("exp: ragged series %q", s.Name)
+		}
+	}
+	if len(xlabels) != n {
+		return fmt.Errorf("exp: %d x labels for %d points", len(xlabels), n)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("exp: non-finite value in series %q", s.Name)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // flat data still renders
+	}
+	// Pad the range slightly so extremes are visible.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	const colWidth = 3
+	plotW := n * colWidth
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		for i, v := range s.Values {
+			c := i*colWidth + colWidth/2
+			r := rowOf(v)
+			if grid[r][c] == ' ' {
+				grid[r][c] = s.Glyph
+			} else if grid[r][c] != s.Glyph {
+				grid[r][c] = '*' // collision marker
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	for r := 0; r < height; r++ {
+		val := hi - (hi-lo)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8.2f |%s\n", val, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", plotW)); err != nil {
+		return err
+	}
+	// X labels, centred per column when they fit.
+	lab := []byte(strings.Repeat(" ", plotW))
+	for i, l := range xlabels {
+		start := i*colWidth + (colWidth-len(l))/2
+		if start < 0 {
+			start = i * colWidth
+		}
+		for k := 0; k < len(l) && start+k < plotW; k++ {
+			lab[start+k] = l[k]
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %s\n", "", string(lab)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Glyph, s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%8s  %s\n", "", strings.Join(legend, "  "))
+	return err
+}
+
+// ChartFigure2 renders the case-study sweep as an ASCII chart.
+func ChartFigure2(w io.Writer, res *Figure2Result, height int) error {
+	xlabels := make([]string, 24)
+	for i := range xlabels {
+		xlabels[i] = fmt.Sprintf("%d", i+1)
+	}
+	return RenderChart(w, "Figure 2: normalized total weighted benefits per work set", xlabels, []Series{
+		{Name: "busy", Glyph: 'b', Values: res.Series(server.Busy)},
+		{Name: "not-busy", Glyph: 'n', Values: res.Series(server.NotBusy)},
+		{Name: "idle", Glyph: 'i', Values: res.Series(server.Idle)},
+	}, height)
+}
+
+// ChartFigure3 renders the accuracy sweep as an ASCII chart.
+func ChartFigure3(w io.Writer, res *Figure3Result, ratios []float64, height int) error {
+	xlabels := make([]string, len(ratios))
+	for i, x := range ratios {
+		xlabels[i] = fmt.Sprintf("%+d", int(x*100))
+	}
+	return RenderChart(w, "Figure 3: normalized total benefits vs estimation accuracy ratio (%)", xlabels, []Series{
+		{Name: "DP", Glyph: 'D', Values: res.Series(core.SolverDP)},
+		{Name: "HEU-OE", Glyph: 'H', Values: res.Series(core.SolverHEU)},
+	}, height)
+}

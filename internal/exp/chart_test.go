@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderChart(&buf, "demo", []string{"a", "b", "c"}, []Series{
+		{Name: "up", Glyph: 'u', Values: []float64{1, 2, 3}},
+		{Name: "down", Glyph: 'd', Values: []float64{3, 2, 1}},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "u=up", "d=down", "+--", "a", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The middle column is a collision (both series at 2) → '*'.
+	lines := strings.Split(out, "\n")
+	// 'u' must appear above... locate rows containing glyphs.
+	uRow, dRow := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "u") && strings.Contains(l, "|") {
+			uRow = i
+		}
+		if strings.Contains(l, "d") && strings.Contains(l, "|") && dRow == -1 {
+			dRow = i
+		}
+	}
+	if uRow == -1 || dRow == -1 {
+		t.Fatalf("glyphs not rendered:\n%s", out)
+	}
+}
+
+func TestRenderChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, "t", []string{"a"}, []Series{{Values: []float64{1}}}, 2); err == nil {
+		t.Error("tiny height accepted")
+	}
+	if err := RenderChart(&buf, "t", nil, nil, 5); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := RenderChart(&buf, "t", []string{"a"}, []Series{{Values: nil}}, 5); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := RenderChart(&buf, "t", []string{"a"}, []Series{
+		{Values: []float64{1}}, {Values: []float64{1, 2}},
+	}, 5); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if err := RenderChart(&buf, "t", []string{"a", "b"}, []Series{{Values: []float64{1}}}, 5); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	if err := RenderChart(&buf, "t", []string{"a"}, []Series{{Values: []float64{math.NaN()}}}, 5); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestRenderChartFlatSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, "flat", []string{"x", "y"}, []Series{
+		{Name: "c", Glyph: 'c', Values: []float64{2, 2}},
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "c") {
+		t.Fatalf("flat series not rendered:\n%s", buf.String())
+	}
+}
+
+func TestChartFigure3(t *testing.T) {
+	cfg := DefaultFigure3Config()
+	cfg.Trials = 1
+	cfg.Ratios = []float64{-0.2, 0, 0.2}
+	res, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ChartFigure3(&buf, res, cfg.Ratios, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "D=DP") || !strings.Contains(out, "+0") {
+		t.Fatalf("figure 3 chart:\n%s", out)
+	}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"testing"
+
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+)
+
+func TestEnergyStudy(t *testing.T) {
+	rows, err := EnergyStudy(testCaseConfig(), DefaultPowerModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byScenario := map[server.Scenario]EnergyRow{}
+	for _, r := range rows {
+		byScenario[r.Scenario] = r
+		if r.Offload.Joules <= 0 || r.Local.Joules <= 0 {
+			t.Fatalf("%v: non-positive energy", r.Scenario)
+		}
+		if r.Offload.Radio <= 0 {
+			t.Fatalf("%v: no radio time despite offloading", r.Scenario)
+		}
+		if r.Local.Radio != 0 {
+			t.Fatalf("%v: local baseline used the radio", r.Scenario)
+		}
+	}
+	idle, busy := byScenario[server.Idle], byScenario[server.Busy]
+	t.Logf("savings: busy %.2f, not-busy %.2f, idle %.2f",
+		busy.Savings, byScenario[server.NotBusy].Savings, idle.Savings)
+	// Idle server: results come back, CPU-active drops, energy saved.
+	if idle.Savings <= 0 {
+		t.Fatalf("idle scenario saved no energy: %+v", idle)
+	}
+	if idle.Offload.CPUActive >= idle.Local.CPUActive {
+		t.Fatal("idle scenario did not cut CPU-active time")
+	}
+	// Busy server: compensations dominate — less saving than idle, and
+	// CPU-active stays near the local baseline.
+	if busy.Savings >= idle.Savings {
+		t.Fatalf("busy savings %g not below idle %g", busy.Savings, idle.Savings)
+	}
+	if busy.Comps == 0 || idle.Hits == 0 {
+		t.Fatalf("degenerate outcomes: busy comps %d, idle hits %d", busy.Comps, idle.Hits)
+	}
+	// Invalid model rejected.
+	if _, err := EnergyStudy(testCaseConfig(), sched.PowerModel{CPUActiveWatts: -1}); err == nil {
+		t.Error("invalid power model accepted")
+	}
+}

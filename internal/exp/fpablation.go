@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/rta"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// FPAblationRow compares admission rates of four tests at one nominal
+// load level: the two FP analyses (suspension-oblivious and
+// suspension-jitter) against the paper's EDF deadline-splitting
+// Theorem 3 and the exact EDF QPA test.
+type FPAblationRow struct {
+	TargetLoad  float64
+	Systems     int
+	FPOblivious int
+	FPJitter    int
+	EDFTheorem3 int
+	EDFExact    int
+}
+
+// FPAblation sweeps load levels over random mixed systems (half
+// offloaded with random budgets, half local) and counts acceptances
+// per test. The load parameter is the generated execution utilization
+// Σ(C1+C2)/T — suspensions come on top, which is what separates the
+// tests.
+func FPAblation(seed uint64, loads []float64, perLoad int) ([]FPAblationRow, error) {
+	if len(loads) == 0 || perLoad <= 0 {
+		return nil, fmt.Errorf("exp: loads and perLoad must be non-empty")
+	}
+	rng := stats.NewRNG(seed)
+	rows := make([]FPAblationRow, 0, len(loads))
+	for _, load := range loads {
+		if load <= 0 || load > 1 {
+			return nil, fmt.Errorf("exp: load %g out of (0,1]", load)
+		}
+		row := FPAblationRow{TargetLoad: load}
+		for sysi := 0; sysi < perLoad; sysi++ {
+			asgs, ok := genMixedSystem(rng, load)
+			if !ok {
+				continue
+			}
+			row.Systems++
+
+			model, err := rta.FromAssignments(asgs)
+			if err != nil {
+				return nil, err
+			}
+			if r, err := rta.Analyze(model, rta.Oblivious); err == nil && r.Schedulable {
+				row.FPOblivious++
+			}
+			if r, err := rta.Analyze(model, rta.Jitter); err == nil && r.Schedulable {
+				row.FPJitter++
+			}
+
+			var off []dbf.Offloaded
+			var loc []dbf.Sporadic
+			var ds []dbf.Demand
+			feasible := true
+			for _, a := range asgs {
+				t := a.Task
+				if a.Offload {
+					o, err := dbf.NewOffloaded(t.SetupAt(a.Level), t.SecondPhaseAt(a.Level),
+						t.Deadline, t.Period, a.Budget())
+					if err != nil {
+						feasible = false
+						break
+					}
+					off = append(off, o)
+					ds = append(ds, o)
+				} else {
+					s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
+					if err != nil {
+						feasible = false
+						break
+					}
+					loc = append(loc, s)
+					ds = append(ds, s)
+				}
+			}
+			if !feasible {
+				continue
+			}
+			if _, ok := dbf.Theorem3(off, loc); ok {
+				row.EDFTheorem3++
+			}
+			if err := dbf.QPA(ds); err == nil {
+				row.EDFExact++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// genMixedSystem draws a system whose execution utilization is load,
+// with random suspensions on the offloaded half.
+func genMixedSystem(rng *stats.RNG, load float64) ([]sched.Assignment, bool) {
+	n := rng.IntN(5) + 3
+	shares := rng.UUniFast(n, load)
+	var asgs []sched.Assignment
+	for i := 0; i < n; i++ {
+		period := rtime.FromMillis(rng.UniformInt(50, 400))
+		c := rtime.Duration(shares[i] * float64(period))
+		if c < 2 {
+			c = 2
+		}
+		if i%2 == 0 {
+			asgs = append(asgs, sched.Assignment{Task: &task.Task{
+				ID: i, Period: period, Deadline: period, LocalWCET: c, LocalBenefit: 1,
+			}})
+			continue
+		}
+		c1 := c / 4
+		if c1 < 1 {
+			c1 = 1
+		}
+		c2 := c - c1
+		r := rtime.Duration(rng.Int64N(int64(period / 2)))
+		tk := &task.Task{
+			ID: i, Period: period, Deadline: period,
+			LocalWCET: c2, Setup: c1, Compensation: c2, LocalBenefit: 1,
+			Levels: []task.Level{{Response: r + 1, Benefit: 2}},
+		}
+		if tk.Validate() != nil {
+			return nil, false
+		}
+		asgs = append(asgs, sched.Assignment{Task: tk, Offload: true})
+	}
+	return asgs, true
+}

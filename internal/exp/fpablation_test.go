@@ -1,0 +1,49 @@
+package exp
+
+import "testing"
+
+// The FP ablation (DESIGN.md ablation D): the paper builds on EDF
+// because FP handles self-suspensions poorly. Expected dominance per
+// load level: FP-oblivious ≤ FP-jitter and EDF-Theorem3 ≤ EDF-exact;
+// and at high load the EDF split tests admit more systems than the
+// FP analyses.
+func TestFPAblation(t *testing.T) {
+	rows, err := FPAblation(13, []float64{0.4, 0.6, 0.8}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var sumObl, sumJit, sumThm, sumExact, systems int
+	for _, r := range rows {
+		if r.Systems == 0 {
+			t.Fatalf("load %g: no systems", r.TargetLoad)
+		}
+		if r.FPOblivious > r.FPJitter {
+			t.Fatalf("load %g: oblivious (%d) above jitter (%d)", r.TargetLoad, r.FPOblivious, r.FPJitter)
+		}
+		if r.EDFTheorem3 > r.EDFExact {
+			t.Fatalf("load %g: Theorem 3 (%d) above exact (%d)", r.TargetLoad, r.EDFTheorem3, r.EDFExact)
+		}
+		sumObl += r.FPOblivious
+		sumJit += r.FPJitter
+		sumThm += r.EDFTheorem3
+		sumExact += r.EDFExact
+		systems += r.Systems
+	}
+	t.Logf("acceptance over %d systems: FP-obl %d, FP-jit %d, EDF-thm3 %d, EDF-exact %d",
+		systems, sumObl, sumJit, sumThm, sumExact)
+	if sumExact <= sumJit {
+		t.Fatalf("EDF exact (%d) does not beat FP jitter (%d)", sumExact, sumJit)
+	}
+	if sumThm <= sumObl {
+		t.Fatalf("EDF Theorem 3 (%d) does not beat FP oblivious (%d)", sumThm, sumObl)
+	}
+	if _, err := FPAblation(1, nil, 5); err == nil {
+		t.Error("empty loads accepted")
+	}
+	if _, err := FPAblation(1, []float64{2}, 5); err == nil {
+		t.Error("load > 1 accepted")
+	}
+}

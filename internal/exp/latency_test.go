@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtoffload/internal/server"
+)
+
+func TestLatencyStudy(t *testing.T) {
+	rows, err := LatencyStudy(testCaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 4 tasks × 3 scenarios
+		t.Fatalf("%d rows", len(rows))
+	}
+	perScenario := map[server.Scenario][]LatencyRow{}
+	for _, r := range rows {
+		perScenario[r.Scenario] = append(perScenario[r.Scenario], r)
+		if !(r.P50 <= r.P95 && r.P95 <= r.Worst) {
+			t.Fatalf("percentile ordering broken: %+v", r)
+		}
+		// The hard guarantee: worst observed response ≤ deadline.
+		if r.Worst > r.Deadline {
+			t.Fatalf("worst %v beyond deadline %v", r.Worst, r.Deadline)
+		}
+		if r.Jobs == 0 {
+			t.Fatalf("no jobs for %s", r.Task)
+		}
+	}
+	// Busy P95s push toward the compensation-bounded worst case;
+	// idle P95s sit near the fast-path latency. Compare totals.
+	sum := func(s server.Scenario) (p95 float64) {
+		for _, r := range perScenario[s] {
+			p95 += r.P95.Millis()
+		}
+		return p95
+	}
+	if sum(server.Idle) >= sum(server.Busy) {
+		t.Fatalf("idle P95 total (%.0f) not below busy (%.0f)", sum(server.Idle), sum(server.Busy))
+	}
+
+	var buf bytes.Buffer
+	if err := RenderLatency(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P95") || !strings.Contains(buf.String(), "Stereo Vision") {
+		t.Fatalf("render output:\n%s", buf.String())
+	}
+}

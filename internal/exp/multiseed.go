@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+)
+
+// Figure2Stats summarizes one scenario across independent seeds.
+type Figure2Stats struct {
+	Scenario server.Scenario
+	// Mean and CI95 describe the distribution of per-run scenario
+	// means (each run averages its 24 work sets).
+	Mean float64
+	CI95 float64
+	Runs int
+}
+
+// Figure2Multi repeats the Figure-2 case study across `seeds`
+// independent seeds and reports the scenario means with 95 %
+// confidence intervals — the error bars the paper's single 10 s run
+// cannot show. The scenario ordering claim (busy < not-busy < idle) is
+// only meaningful when the intervals separate; the test suite asserts
+// exactly that.
+func Figure2Multi(cfg CaseStudyConfig, seeds int) ([]Figure2Stats, error) {
+	if seeds <= 0 {
+		return nil, fmt.Errorf("exp: seeds must be positive")
+	}
+	perScenario := map[server.Scenario][]float64{}
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*7919
+		res, err := Figure2(c)
+		if err != nil {
+			return nil, fmt.Errorf("exp: seed %d: %w", s, err)
+		}
+		for _, scenario := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
+			vals := res.Series(scenario)
+			perScenario[scenario] = append(perScenario[scenario], stats.Mean(vals))
+		}
+	}
+	out := make([]Figure2Stats, 0, 3)
+	for _, scenario := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
+		mean, half := stats.MeanCI(perScenario[scenario], 1.96)
+		out = append(out, Figure2Stats{
+			Scenario: scenario, Mean: mean, CI95: half, Runs: seeds,
+		})
+	}
+	return out, nil
+}

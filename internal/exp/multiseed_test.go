@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"testing"
+
+	"rtoffload/internal/server"
+)
+
+func TestFigure2MultiSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	cfg := testCaseConfig()
+	cfg.Probes = 80
+	rows, err := Figure2Multi(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	by := map[server.Scenario]Figure2Stats{}
+	for _, r := range rows {
+		by[r.Scenario] = r
+		if r.Runs != 3 || r.Mean <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.CI95 < 0 {
+			t.Fatalf("negative CI %+v", r)
+		}
+	}
+	busy, notBusy, idle := by[server.Busy], by[server.NotBusy], by[server.Idle]
+	t.Logf("busy %.3f±%.3f  not-busy %.3f±%.3f  idle %.3f±%.3f",
+		busy.Mean, busy.CI95, notBusy.Mean, notBusy.CI95, idle.Mean, idle.CI95)
+	// The paper's ordering claim must hold beyond the error bars:
+	// adjacent intervals must not overlap.
+	if busy.Mean+busy.CI95 >= notBusy.Mean-notBusy.CI95 {
+		t.Fatalf("busy and not-busy intervals overlap")
+	}
+	if notBusy.Mean+notBusy.CI95 >= idle.Mean-idle.CI95 {
+		t.Fatalf("not-busy and idle intervals overlap")
+	}
+	if _, err := Figure2Multi(cfg, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}

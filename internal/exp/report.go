@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/server"
+)
+
+// WriteTable renders an aligned text table.
+func WriteTable(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := io.WriteString(w, strings.Repeat("-", total)+"\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders rows as comma-separated values (no quoting; the
+// harness emits only numbers and simple labels).
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	if _, err := io.WriteString(w, strings.Join(headers, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := io.WriteString(w, strings.Join(r, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable1 prints the regenerated Table 1 in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	headers := []string{"Task", "Gi(0)"}
+	if len(rows) > 0 {
+		for j := range rows[0].Budgets {
+			headers = append(headers, fmt.Sprintf("ri,%d", j+2), fmt.Sprintf("Gi(ri,%d)", j+2))
+		}
+	}
+	var out [][]string
+	for _, r := range rows {
+		cells := []string{r.Task, fmt.Sprintf("%.4f", r.LocalPSNR)}
+		for j := range r.Budgets {
+			cells = append(cells, fmt.Sprintf("%.1f ms", r.Budgets[j].Millis()),
+				fmt.Sprintf("%.4f", r.PSNRs[j]))
+		}
+		out = append(out, cells)
+	}
+	return WriteTable(w, headers, out)
+}
+
+// RenderFigure2 prints the case-study series, one row per work set.
+func RenderFigure2(w io.Writer, res *Figure2Result) error {
+	busy := res.Series(server.Busy)
+	notBusy := res.Series(server.NotBusy)
+	idle := res.Series(server.Idle)
+	headers := []string{"WorkSet", "Weights", "Busy", "NotBusy", "Idle"}
+	var rows [][]string
+	for i := range busy {
+		p := res.Points[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%v", p.Weights),
+			fmt.Sprintf("%.3f", busy[i]),
+			fmt.Sprintf("%.3f", notBusy[i]),
+			fmt.Sprintf("%.3f", idle[i]),
+		})
+	}
+	return WriteTable(w, headers, rows)
+}
+
+// RenderFigure3 prints the sweep, one row per accuracy ratio.
+func RenderFigure3(w io.Writer, res *Figure3Result) error {
+	dp := map[float64]Figure3Point{}
+	heu := map[float64]Figure3Point{}
+	var order []float64
+	for _, p := range res.Points {
+		switch p.Solver {
+		case core.SolverDP:
+			dp[p.Ratio] = p
+			order = append(order, p.Ratio)
+		case core.SolverHEU:
+			heu[p.Ratio] = p
+		}
+	}
+	headers := []string{"x (%)", "DP", "HEU-OE"}
+	var rows [][]string
+	for _, x := range order {
+		rows = append(rows, []string{
+			fmt.Sprintf("%+.0f", x*100),
+			fmt.Sprintf("%.4f", dp[x].Normalized),
+			fmt.Sprintf("%.4f", heu[x].Normalized),
+		})
+	}
+	return WriteTable(w, headers, rows)
+}

@@ -1,0 +1,175 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sobel computes gradient-magnitude edge detection. The output pixel
+// is the clamped L1 magnitude of the horizontal and vertical Sobel
+// responses.
+func Sobel(im *Image) *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			gx := -int(im.At(x-1, y-1)) + int(im.At(x+1, y-1)) +
+				-2*int(im.At(x-1, y)) + 2*int(im.At(x+1, y)) +
+				-int(im.At(x-1, y+1)) + int(im.At(x+1, y+1))
+			gy := -int(im.At(x-1, y-1)) - 2*int(im.At(x, y-1)) - int(im.At(x+1, y-1)) +
+				int(im.At(x-1, y+1)) + 2*int(im.At(x, y+1)) + int(im.At(x+1, y+1))
+			m := abs(gx) + abs(gy)
+			if m > 255 {
+				m = 255
+			}
+			out.Pix[y*im.W+x] = uint8(m)
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// StereoDisparity computes a block-matching disparity map between a
+// left and right view (right shifted left by the true disparity).
+// For each block it searches disparities 0..maxDisp−1 minimizing the
+// sum of absolute differences. The output encodes disparity scaled to
+// the 0..255 range. Dimensions must match.
+func StereoDisparity(left, right *Image, maxDisp, block int) (*Image, error) {
+	if left.W != right.W || left.H != right.H {
+		return nil, fmt.Errorf("imgproc: stereo dimension mismatch")
+	}
+	if maxDisp < 1 || block < 1 {
+		return nil, fmt.Errorf("imgproc: invalid stereo parameters maxDisp=%d block=%d", maxDisp, block)
+	}
+	out := New(left.W, left.H)
+	scale := 255 / maxDisp
+	if scale == 0 {
+		scale = 1
+	}
+	for by := 0; by < left.H; by += block {
+		for bx := 0; bx < left.W; bx += block {
+			bestD, bestSAD := 0, math.MaxInt64
+			for d := 0; d < maxDisp; d++ {
+				sad := 0
+				for y := by; y < by+block && y < left.H; y++ {
+					for x := bx; x < bx+block && x < left.W; x++ {
+						sad += abs(int(left.At(x, y)) - int(right.At(x-d, y)))
+					}
+				}
+				if sad < bestSAD {
+					bestSAD, bestD = sad, d
+				}
+			}
+			v := uint8(min(bestD*scale, 255))
+			for y := by; y < by+block && y < left.H; y++ {
+				for x := bx; x < bx+block && x < left.W; x++ {
+					out.Pix[y*left.W+x] = v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Match is the result of template matching.
+type Match struct {
+	X, Y  int
+	Score float64 // normalized cross-correlation in [−1, 1]
+}
+
+// MatchTemplate locates the template within the image by maximizing
+// the zero-mean normalized cross-correlation over a coarse-to-fine
+// grid (stride 2 scan plus local refinement) — the object-recognition
+// stand-in for the paper's SIFT pipeline.
+func MatchTemplate(im, tmpl *Image) (Match, error) {
+	if tmpl.W > im.W || tmpl.H > im.H {
+		return Match{}, fmt.Errorf("imgproc: template %d×%d larger than image %d×%d", tmpl.W, tmpl.H, im.W, im.H)
+	}
+	tMean := meanOf(tmpl, 0, 0, tmpl.W, tmpl.H)
+	var tVar float64
+	for _, p := range tmpl.Pix {
+		d := float64(p) - tMean
+		tVar += d * d
+	}
+	best := Match{Score: math.Inf(-1)}
+	score := func(ox, oy int) float64 {
+		iMean := meanOf(im, ox, oy, tmpl.W, tmpl.H)
+		var cov, iVar float64
+		for y := 0; y < tmpl.H; y++ {
+			for x := 0; x < tmpl.W; x++ {
+				di := float64(im.Pix[(oy+y)*im.W+ox+x]) - iMean
+				dt := float64(tmpl.Pix[y*tmpl.W+x]) - tMean
+				cov += di * dt
+				iVar += di * di
+			}
+		}
+		den := math.Sqrt(tVar * iVar)
+		if den == 0 {
+			return 0
+		}
+		return cov / den
+	}
+	// Coarse scan.
+	for oy := 0; oy+tmpl.H <= im.H; oy += 2 {
+		for ox := 0; ox+tmpl.W <= im.W; ox += 2 {
+			if s := score(ox, oy); s > best.Score {
+				best = Match{X: ox, Y: oy, Score: s}
+			}
+		}
+	}
+	// Local refinement around the coarse optimum.
+	for oy := best.Y - 1; oy <= best.Y+1; oy++ {
+		for ox := best.X - 1; ox <= best.X+1; ox++ {
+			if ox < 0 || oy < 0 || ox+tmpl.W > im.W || oy+tmpl.H > im.H {
+				continue
+			}
+			if s := score(ox, oy); s > best.Score {
+				best = Match{X: ox, Y: oy, Score: s}
+			}
+		}
+	}
+	return best, nil
+}
+
+func meanOf(im *Image, ox, oy, w, h int) float64 {
+	var s float64
+	for y := oy; y < oy+h; y++ {
+		for x := ox; x < ox+w; x++ {
+			s += float64(im.Pix[y*im.W+x])
+		}
+	}
+	return s / float64(w*h)
+}
+
+// MotionDetect thresholds the absolute difference of two frames and
+// reports the binary change mask plus the changed-pixel fraction.
+func MotionDetect(a, b *Image, threshold uint8) (*Image, float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return nil, 0, fmt.Errorf("imgproc: motion dimension mismatch")
+	}
+	out := New(a.W, a.H)
+	changed := 0
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if uint8(d) > threshold {
+			out.Pix[i] = 255
+			changed++
+		}
+	}
+	return out, float64(changed) / float64(len(a.Pix)), nil
+}

@@ -1,0 +1,333 @@
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianBlur applies a separable Gaussian filter with the given
+// standard deviation (in pixels). The kernel radius is ⌈3σ⌉. σ ≤ 0
+// returns a copy of the input.
+func GaussianBlur(im *Image, sigma float64) *Image {
+	if sigma <= 0 {
+		return im.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range kernel {
+		d := float64(i - radius)
+		kernel[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += kernel[i]
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	// Horizontal pass into a float buffer, then vertical.
+	tmp := make([]float64, im.W*im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			acc := 0.0
+			for k, w := range kernel {
+				acc += w * float64(im.At(x+k-radius, y))
+			}
+			tmp[y*im.W+x] = acc
+		}
+	}
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			acc := 0.0
+			for k, w := range kernel {
+				yy := y + k - radius
+				if yy < 0 {
+					yy = 0
+				}
+				if yy >= im.H {
+					yy = im.H - 1
+				}
+				acc += w * tmp[yy*im.W+x]
+			}
+			out.Pix[y*im.W+x] = uint8(acc + 0.5)
+		}
+	}
+	return out
+}
+
+// Canny performs multi-stage edge detection: Gaussian smoothing, Sobel
+// gradients, non-maximum suppression along the quantized gradient
+// direction, and double-threshold hysteresis. Output pixels are 255 on
+// confirmed edges, 0 elsewhere. Thresholds apply to the L1 gradient
+// magnitude; low < high required.
+func Canny(im *Image, sigma float64, low, high int) (*Image, error) {
+	if low < 0 || high <= low {
+		return nil, fmt.Errorf("imgproc: canny thresholds low=%d high=%d", low, high)
+	}
+	sm := GaussianBlur(im, sigma)
+	w, h := im.W, im.H
+	mag := make([]int, w*h)
+	dir := make([]uint8, w*h) // 0: 0°, 1: 45°, 2: 90°, 3: 135°
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx := -int(sm.At(x-1, y-1)) + int(sm.At(x+1, y-1)) +
+				-2*int(sm.At(x-1, y)) + 2*int(sm.At(x+1, y)) +
+				-int(sm.At(x-1, y+1)) + int(sm.At(x+1, y+1))
+			gy := -int(sm.At(x-1, y-1)) - 2*int(sm.At(x, y-1)) - int(sm.At(x+1, y-1)) +
+				int(sm.At(x-1, y+1)) + 2*int(sm.At(x, y+1)) + int(sm.At(x+1, y+1))
+			m := abs(gx) + abs(gy)
+			mag[y*w+x] = m
+			// Quantize direction to 4 bins.
+			angle := math.Atan2(float64(gy), float64(gx)) // [−π, π]
+			deg := angle * 180 / math.Pi
+			if deg < 0 {
+				deg += 180
+			}
+			switch {
+			case deg < 22.5 || deg >= 157.5:
+				dir[y*w+x] = 0
+			case deg < 67.5:
+				dir[y*w+x] = 1
+			case deg < 112.5:
+				dir[y*w+x] = 2
+			default:
+				dir[y*w+x] = 3
+			}
+		}
+	}
+	// Non-maximum suppression.
+	nms := make([]int, w*h)
+	at := func(x, y int) int {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return 0
+		}
+		return mag[y*w+x]
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m := mag[y*w+x]
+			var a, b int
+			switch dir[y*w+x] {
+			case 0:
+				a, b = at(x-1, y), at(x+1, y)
+			case 1:
+				a, b = at(x+1, y-1), at(x-1, y+1)
+			case 2:
+				a, b = at(x, y-1), at(x, y+1)
+			default:
+				a, b = at(x-1, y-1), at(x+1, y+1)
+			}
+			if m >= a && m >= b {
+				nms[y*w+x] = m
+			}
+		}
+	}
+	// Hysteresis: BFS from strong pixels through weak neighbours.
+	out := New(w, h)
+	var stack []int
+	for i, m := range nms {
+		if m >= high {
+			out.Pix[i] = 255
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x, y := i%w, i/w
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				xx, yy := x+dx, y+dy
+				if xx < 0 || xx >= w || yy < 0 || yy >= h {
+					continue
+				}
+				j := yy*w + xx
+				if out.Pix[j] == 0 && nms[j] >= low {
+					out.Pix[j] = 255
+					stack = append(stack, j)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Integral is a summed-area table: Sum(x0,y0,x1,y1) of any rectangle
+// in O(1). Used by box filters and fast template pre-screening.
+type Integral struct {
+	W, H int
+	sums []int64 // (W+1)×(H+1), first row/col zero
+}
+
+// NewIntegral builds the summed-area table of im.
+func NewIntegral(im *Image) *Integral {
+	w, h := im.W, im.H
+	s := make([]int64, (w+1)*(h+1))
+	for y := 1; y <= h; y++ {
+		var row int64
+		for x := 1; x <= w; x++ {
+			row += int64(im.Pix[(y-1)*w+x-1])
+			s[y*(w+1)+x] = s[(y-1)*(w+1)+x] + row
+		}
+	}
+	return &Integral{W: w, H: h, sums: s}
+}
+
+// Sum returns the pixel sum over the half-open rectangle
+// [x0, x1) × [y0, y1), clamped to the image.
+func (in *Integral) Sum(x0, y0, x1, y1 int) int64 {
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0, x1 = clamp(x0, in.W), clamp(x1, in.W)
+	y0, y1 = clamp(y0, in.H), clamp(y1, in.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	w1 := in.W + 1
+	return in.sums[y1*w1+x1] - in.sums[y0*w1+x1] - in.sums[y1*w1+x0] + in.sums[y0*w1+x0]
+}
+
+// BoxBlur averages over a (2r+1)² window via the integral image.
+func BoxBlur(im *Image, r int) *Image {
+	if r <= 0 {
+		return im.Clone()
+	}
+	ii := NewIntegral(im)
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			x0, y0 := x-r, y-r
+			x1, y1 := x+r+1, y+r+1
+			// Clamp and divide by the true covered area so borders
+			// stay unbiased.
+			cx0, cy0 := maxInt(x0, 0), maxInt(y0, 0)
+			cx1, cy1 := minInt(x1, im.W), minInt(y1, im.H)
+			area := int64(cx1-cx0) * int64(cy1-cy0)
+			out.Pix[y*im.W+x] = uint8((ii.Sum(x0, y0, x1, y1) + area/2) / area)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Corner is a detected interest point.
+type Corner struct {
+	X, Y     int
+	Response float64
+}
+
+// HarrisCorners detects corners via the Harris response
+// det(M) − k·trace(M)² over σ-smoothed gradient products, followed by
+// 3×3 non-maximum suppression and thresholding relative to the
+// strongest response. Returns corners sorted by decreasing response,
+// at most maxCorners.
+func HarrisCorners(im *Image, k float64, relThreshold float64, maxCorners int) ([]Corner, error) {
+	if k <= 0 || relThreshold <= 0 || relThreshold >= 1 || maxCorners <= 0 {
+		return nil, fmt.Errorf("imgproc: harris parameters k=%g rel=%g max=%d", k, relThreshold, maxCorners)
+	}
+	w, h := im.W, im.H
+	sm := GaussianBlur(im, 1)
+	ixx := make([]float64, w*h)
+	iyy := make([]float64, w*h)
+	ixy := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx := float64(int(sm.At(x+1, y)) - int(sm.At(x-1, y)))
+			gy := float64(int(sm.At(x, y+1)) - int(sm.At(x, y-1)))
+			ixx[y*w+x] = gx * gx
+			iyy[y*w+x] = gy * gy
+			ixy[y*w+x] = gx * gy
+		}
+	}
+	// 5×5 window accumulation of the structure tensor.
+	resp := make([]float64, w*h)
+	best := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sxx, syy, sxy float64
+			for dy := -2; dy <= 2; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= h {
+					continue
+				}
+				for dx := -2; dx <= 2; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= w {
+						continue
+					}
+					i := yy*w + xx
+					sxx += ixx[i]
+					syy += iyy[i]
+					sxy += ixy[i]
+				}
+			}
+			det := sxx*syy - sxy*sxy
+			tr := sxx + syy
+			r := det - k*tr*tr
+			resp[y*w+x] = r
+			if r > best {
+				best = r
+			}
+		}
+	}
+	if best <= 0 {
+		return nil, nil
+	}
+	thr := best * relThreshold
+	var corners []Corner
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			r := resp[y*w+x]
+			if r < thr {
+				continue
+			}
+			localMax := true
+			for dy := -1; dy <= 1 && localMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if resp[(y+dy)*w+x+dx] > r {
+						localMax = false
+						break
+					}
+				}
+			}
+			if localMax {
+				corners = append(corners, Corner{X: x, Y: y, Response: r})
+			}
+		}
+	}
+	sortCorners(corners)
+	if len(corners) > maxCorners {
+		corners = corners[:maxCorners]
+	}
+	return corners, nil
+}
+
+func sortCorners(cs []Corner) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Response > cs[j-1].Response; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

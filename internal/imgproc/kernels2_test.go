@@ -1,0 +1,231 @@
+package imgproc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianBlurSmooths(t *testing.T) {
+	im := frame(t, 64, 48)
+	bl := GaussianBlur(im, 2)
+	// Blur preserves the global mean (within rounding) but reduces
+	// local variation.
+	var m0, m1 float64
+	for i := range im.Pix {
+		m0 += float64(im.Pix[i])
+		m1 += float64(bl.Pix[i])
+	}
+	m0 /= float64(len(im.Pix))
+	m1 /= float64(len(im.Pix))
+	if math.Abs(m0-m1) > 3 {
+		t.Fatalf("blur shifted mean: %g → %g", m0, m1)
+	}
+	tv := func(x *Image) float64 {
+		s := 0.0
+		for y := 0; y < x.H; y++ {
+			for xx := 1; xx < x.W; xx++ {
+				d := float64(x.At(xx, y)) - float64(x.At(xx-1, y))
+				s += math.Abs(d)
+			}
+		}
+		return s
+	}
+	if tv(bl) >= tv(im)/2 {
+		t.Fatalf("blur did not smooth: TV %g vs %g", tv(bl), tv(im))
+	}
+	// σ ≤ 0: identity copy.
+	id := GaussianBlur(im, 0)
+	for i := range im.Pix {
+		if id.Pix[i] != im.Pix[i] {
+			t.Fatal("sigma 0 not identity")
+		}
+	}
+	id.Pix[0] ^= 0xFF
+	if im.Pix[0] == id.Pix[0] {
+		t.Fatal("sigma 0 aliases input")
+	}
+}
+
+func TestGaussianBlurFlatImage(t *testing.T) {
+	im := New(20, 20)
+	for i := range im.Pix {
+		im.Pix[i] = 100
+	}
+	bl := GaussianBlur(im, 3)
+	for i, p := range bl.Pix {
+		if p != 100 {
+			t.Fatalf("pixel %d = %d on flat image", i, p)
+		}
+	}
+}
+
+func TestCanny(t *testing.T) {
+	// A clean step edge must survive NMS and hysteresis as a thin line.
+	im := New(40, 40)
+	for y := 0; y < 40; y++ {
+		for x := 20; x < 40; x++ {
+			im.Set(x, y, 220)
+		}
+	}
+	edges, err := Canny(im, 1, 40, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count edge pixels per column: the edge should be localized around
+	// x = 19..20, and flat regions clean.
+	for x := 0; x < 40; x++ {
+		count := 0
+		for y := 2; y < 38; y++ {
+			if edges.At(x, y) == 255 {
+				count++
+			}
+		}
+		switch {
+		case x >= 18 && x <= 21:
+			if x == 19 || x == 20 {
+				if count < 20 {
+					t.Errorf("column %d: edge weak (%d)", x, count)
+				}
+			}
+		case count > 2:
+			t.Errorf("column %d: %d spurious edge pixels", x, count)
+		}
+	}
+	if _, err := Canny(im, 1, 100, 50); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+	if _, err := Canny(im, 1, -1, 50); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestCannyThinnerThanSobel(t *testing.T) {
+	im := frame(t, 64, 64)
+	sob := Sobel(im)
+	canny, err := Canny(im, 1.2, 60, 140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSob, nCan := 0, 0
+	for i := range sob.Pix {
+		if sob.Pix[i] > 140 {
+			nSob++
+		}
+		if canny.Pix[i] == 255 {
+			nCan++
+		}
+	}
+	if nCan == 0 {
+		t.Fatal("canny found nothing")
+	}
+	if nCan >= nSob*2 {
+		t.Fatalf("canny (%d) not sparser than raw sobel threshold (%d)", nCan, nSob)
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	im := frame(t, 23, 17)
+	ii := NewIntegral(im)
+	// Cross-check random rectangles against brute force.
+	cases := [][4]int{
+		{0, 0, 23, 17}, {5, 3, 11, 9}, {0, 0, 1, 1}, {22, 16, 23, 17},
+		{-5, -5, 30, 30}, // clamped
+		{10, 10, 10, 12}, // empty
+	}
+	for _, c := range cases {
+		var want int64
+		for y := maxInt(c[1], 0); y < minInt(c[3], 17); y++ {
+			for x := maxInt(c[0], 0); x < minInt(c[2], 23); x++ {
+				want += int64(im.At(x, y))
+			}
+		}
+		if got := ii.Sum(c[0], c[1], c[2], c[3]); got != want {
+			t.Errorf("Sum%v = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestBoxBlur(t *testing.T) {
+	im := frame(t, 32, 32)
+	b := BoxBlur(im, 2)
+	// Centre pixel equals the 5×5 mean.
+	var want int64
+	for y := 8; y <= 12; y++ {
+		for x := 8; x <= 12; x++ {
+			want += int64(im.At(x, y))
+		}
+	}
+	want = (want + 12) / 25
+	if got := int64(b.At(10, 10)); got != want {
+		t.Fatalf("box blur centre %d, want %d", got, want)
+	}
+	// r = 0: copy.
+	c := BoxBlur(im, 0)
+	for i := range im.Pix {
+		if c.Pix[i] != im.Pix[i] {
+			t.Fatal("r=0 not identity")
+		}
+	}
+}
+
+func TestHarrisCorners(t *testing.T) {
+	// A bright rectangle on black background: corners at its 4 corners,
+	// none along straight edges or in flat areas.
+	im := New(64, 64)
+	for y := 20; y < 44; y++ {
+		for x := 16; x < 48; x++ {
+			im.Set(x, y, 230)
+		}
+	}
+	corners, err := HarrisCorners(im, 0.05, 0.2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corners) < 4 {
+		t.Fatalf("found %d corners, want ≥ 4", len(corners))
+	}
+	// Every reported corner must be near one of the 4 true corners.
+	truth := [][2]int{{16, 20}, {47, 20}, {16, 43}, {47, 43}}
+	for _, c := range corners {
+		ok := false
+		for _, tc := range truth {
+			dx, dy := c.X-tc[0], c.Y-tc[1]
+			if dx*dx+dy*dy <= 25 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("spurious corner at (%d,%d)", c.X, c.Y)
+		}
+	}
+	// Sorted by decreasing response.
+	for i := 1; i < len(corners); i++ {
+		if corners[i].Response > corners[i-1].Response {
+			t.Fatal("corners not sorted")
+		}
+	}
+	// Parameter validation.
+	for _, bad := range [][3]float64{{0, 0.2, 8}, {0.05, 0, 8}, {0.05, 1.5, 8}, {0.05, 0.2, 0}} {
+		if _, err := HarrisCorners(im, bad[0], bad[1], int(bad[2])); err == nil {
+			t.Errorf("bad params %v accepted", bad)
+		}
+	}
+	// Flat image: no corners, no error.
+	flat := New(32, 32)
+	cs, err := HarrisCorners(flat, 0.05, 0.2, 8)
+	if err != nil || len(cs) != 0 {
+		t.Fatalf("flat image: %v, %v", cs, err)
+	}
+}
+
+func TestHarrisMaxCornersCap(t *testing.T) {
+	im := frame(t, 96, 96)
+	cs, err := HarrisCorners(im, 0.05, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) > 5 {
+		t.Fatalf("cap ignored: %d corners", len(cs))
+	}
+}

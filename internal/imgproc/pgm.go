@@ -1,0 +1,80 @@
+package imgproc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM encodes the image as a binary PGM (P5, maxval 255) — the
+// simplest portable grayscale format, so synthetic frames, edge maps,
+// disparity maps and motion masks can be inspected with any image
+// viewer.
+func WritePGM(w io.Writer, im *Image) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	_, err := w.Write(im.Pix)
+	return err
+}
+
+// ReadPGM decodes a binary PGM (P5) image with maxval 255. Comments
+// (# …) in the header are skipped.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imgproc: not a binary PGM (magic %q)", magic)
+	}
+	var w, h, maxv int
+	for _, dst := range []*int{&w, &h, &maxv} {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("imgproc: bad PGM header token %q", tok)
+		}
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imgproc: implausible PGM dimensions %d×%d", w, h)
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("imgproc: unsupported PGM maxval %d", maxv)
+	}
+	im := New(w, h)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imgproc: truncated PGM pixel data: %w", err)
+	}
+	return im, nil
+}
+
+// pgmToken reads the next whitespace-delimited header token, skipping
+// comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("imgproc: PGM header: %w", err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", fmt.Errorf("imgproc: PGM comment: %w", err)
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package imgproc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rtoffload/internal/stats"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := Synthetic(stats.NewRNG(5), 37, 23)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("dimensions %dx%d", got.W, got.H)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestReadPGMComments(t *testing.T) {
+	data := "P5\n# a comment\n2 # inline\n2\n255\n" + string([]byte{1, 2, 3, 4})
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 2 || im.Pix[3] != 4 {
+		t.Fatalf("parsed %+v", im)
+	}
+}
+
+func TestReadPGMRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":  "P2\n2 2\n255\n",
+		"bad header": "P5\nxx 2\n255\n",
+		"bad maxval": "P5\n2 2\n65535\n" + string(make([]byte, 8)),
+		"zero dims":  "P5\n0 2\n255\n",
+		"truncated":  "P5\n4 4\n255\n" + string(make([]byte, 3)),
+		"empty":      "",
+	}
+	for name, data := range cases {
+		if _, err := ReadPGM(strings.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

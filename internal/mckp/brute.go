@@ -1,0 +1,111 @@
+package mckp
+
+import (
+	"fmt"
+)
+
+// MaxBruteForceAssignments caps the search space SolveBruteForce will
+// enumerate.
+const MaxBruteForceAssignments = 20_000_000
+
+// SolveBruteForce enumerates every assignment and returns the exact
+// optimum. It exists to verify the other solvers on small instances
+// and refuses instances with more than MaxBruteForceAssignments
+// assignments.
+func SolveBruteForce(in *Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	total := 1
+	for _, c := range in.Classes {
+		if total > MaxBruteForceAssignments/len(c.Items) {
+			return Solution{}, fmt.Errorf("mckp: instance too large for brute force (> %d assignments)", MaxBruteForceAssignments)
+		}
+		total *= len(c.Items)
+	}
+
+	n := len(in.Classes)
+	cur := make([]int, n)
+	best := make([]int, n)
+	found := false
+	bestProfit := 0.0
+	bestWeight := 0.0
+
+	var rec func(i int, w, p float64)
+	rec = func(i int, w, p float64) {
+		if w > in.Capacity+1e-12 {
+			return // no item has negative weight, so prune
+		}
+		if i == n {
+			if !found || p > bestProfit || (p == bestProfit && w < bestWeight) {
+				found = true
+				bestProfit = p
+				bestWeight = w
+				copy(best, cur)
+			}
+			return
+		}
+		for j, it := range in.Classes[i].Items {
+			cur[i] = j
+			rec(i+1, w+it.Weight, p+it.Profit)
+		}
+	}
+	rec(0, 0, 0)
+	if !found {
+		return Solution{}, ErrInfeasible
+	}
+	return in.Evaluate(best)
+}
+
+// SolveGreedy is a naive baseline for ablations: classes are processed
+// in order and each picks the highest-profit item that still fits the
+// remaining capacity assuming every later class takes its lightest
+// item. It ignores efficiency entirely, which is exactly what makes it
+// a useful contrast to HEU-OE.
+func SolveGreedy(in *Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(in.Classes)
+	// minTail[i] = Σ over classes ≥ i of the lightest item weight.
+	minTail := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		minW := in.Classes[i].Items[0].Weight
+		for _, it := range in.Classes[i].Items[1:] {
+			if it.Weight < minW {
+				minW = it.Weight
+			}
+		}
+		minTail[i] = minTail[i+1] + minW
+	}
+	if minTail[0] > in.Capacity+1e-12 {
+		return Solution{}, ErrInfeasible
+	}
+	choice := make([]int, n)
+	used := 0.0
+	for i, c := range in.Classes {
+		bestJ := -1
+		bestP := 0.0
+		bestW := 0.0
+		for j, it := range c.Items {
+			if used+it.Weight+minTail[i+1] > in.Capacity+1e-12 {
+				continue
+			}
+			if bestJ == -1 || it.Profit > bestP || (it.Profit == bestP && it.Weight < bestW) {
+				bestJ, bestP, bestW = j, it.Profit, it.Weight
+			}
+		}
+		if bestJ == -1 {
+			// Fall back to the lightest item; feasibility of the prefix
+			// plus minTail guarantees it fits.
+			for j, it := range c.Items {
+				if bestJ == -1 || it.Weight < bestW {
+					bestJ, bestW = j, it.Weight
+				}
+			}
+		}
+		choice[i] = bestJ
+		used += c.Items[bestJ].Weight
+	}
+	return in.Evaluate(choice)
+}

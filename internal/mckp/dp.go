@@ -1,0 +1,115 @@
+package mckp
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultDPResolution is the number of capacity grid cells used by
+// SolveDP when the caller passes 0. At 10⁻⁴ of the capacity per cell,
+// quantization loss is far below the profit differences that matter in
+// the offloading instances.
+const DefaultDPResolution = 10000
+
+// SolveDP solves the instance exactly on a quantized capacity grid
+// using the pseudo-polynomial dynamic program for MCKP (Dudzinski &
+// Walukiewicz 1987). The real-valued weights are scaled to
+// resolution grid cells and rounded *up*, so any returned solution is
+// feasible for the true instance; the quantization can only cost
+// profit, never feasibility. Complexity O(Σ|classes| · resolution)
+// time, O(n · resolution) space for choice reconstruction.
+//
+// resolution ≤ 0 selects DefaultDPResolution. Returns ErrInfeasible
+// when no assignment fits even before quantization rounding... (the
+// check is performed on quantized weights, so near-capacity instances
+// may be rejected conservatively).
+func SolveDP(in *Instance, resolution int) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if resolution <= 0 {
+		resolution = DefaultDPResolution
+	}
+	n := len(in.Classes)
+	cap := resolution
+
+	// Quantize weights, rounding up (conservative).
+	qw := make([][]int, n)
+	for i, c := range in.Classes {
+		qw[i] = make([]int, len(c.Items))
+		for j, it := range c.Items {
+			w := int(math.Ceil(it.Weight / in.Capacity * float64(resolution)))
+			if w < 0 {
+				w = 0
+			}
+			qw[i][j] = w
+		}
+	}
+
+	negInf := math.Inf(-1)
+	// prev[c] = best profit using classes 0..i-1 with total quantized
+	// weight exactly ≤ handled via "at most c" formulation: we use
+	// profit at weight budget c (monotone in c by construction below).
+	prev := make([]float64, cap+1)
+	cur := make([]float64, cap+1)
+	for c := range prev {
+		prev[c] = 0 // zero classes, zero profit at any budget
+	}
+	// choice[i][c] = item picked for class i at budget c.
+	choice := make([][]int16, n)
+
+	for i := 0; i < n; i++ {
+		choice[i] = make([]int16, cap+1)
+		items := in.Classes[i].Items
+		for c := 0; c <= cap; c++ {
+			best := negInf
+			bestJ := int16(-1)
+			for j := range items {
+				w := qw[i][j]
+				if w > c {
+					continue
+				}
+				if p := prev[c-w]; p != negInf {
+					if v := p + items[j].Profit; v > best {
+						best = v
+						bestJ = int16(j)
+					}
+				}
+			}
+			cur[c] = best
+			choice[i][c] = bestJ
+		}
+		prev, cur = cur, prev
+	}
+
+	if prev[cap] == negInf {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Reconstruct: walk classes backwards. Find the smallest budget c*
+	// achieving the optimum to keep the reported weight tight.
+	c := cap
+	bestProfit := prev[cap]
+	for b := 0; b <= cap; b++ {
+		if prev[b] == bestProfit {
+			c = b
+			break
+		}
+	}
+	sel := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		j := choice[i][c]
+		if j < 0 {
+			// The chosen budget must be reachable at every level; if
+			// not, fall back to the full budget column.
+			return Solution{}, fmt.Errorf("mckp: internal error reconstructing DP solution at class %d", i)
+		}
+		sel[i] = int(j)
+		c -= qw[i][j]
+	}
+	sol, err := in.Evaluate(sel)
+	if err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}

@@ -1,0 +1,56 @@
+package mckp_test
+
+import (
+	"fmt"
+
+	"rtoffload/internal/mckp"
+)
+
+// ExampleSolveDP solves a two-task offloading instance: each class
+// holds the local choice and one offload level; capacity 1 is the
+// Theorem-3 budget.
+func ExampleSolveDP() {
+	in := &mckp.Instance{
+		Capacity: 1,
+		Classes: []mckp.Class{
+			{Label: "τ1", Items: []mckp.Item{
+				{Weight: 0.3, Profit: 1}, // local
+				{Weight: 0.6, Profit: 5}, // offload
+			}},
+			{Label: "τ2", Items: []mckp.Item{
+				{Weight: 0.3, Profit: 1},
+				{Weight: 0.5, Profit: 4},
+			}},
+		},
+	}
+	sol, err := mckp.SolveDP(in, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("choice=%v profit=%g weight=%.1f\n", sol.Choice, sol.Profit, sol.Weight)
+	// Output:
+	// choice=[1 0] profit=6 weight=0.9
+}
+
+// ExampleSolveHEU runs the paper's fast heuristic on the same
+// instance. It takes the single most efficient upgrade (τ2) and then
+// cannot fit τ1's — one unit below the DP optimum of 6, illustrating
+// the quality/runtime trade-off of §5.2.
+func ExampleSolveHEU() {
+	in := &mckp.Instance{
+		Capacity: 1,
+		Classes: []mckp.Class{
+			{Items: []mckp.Item{{Weight: 0.3, Profit: 1}, {Weight: 0.6, Profit: 5}}},
+			{Items: []mckp.Item{{Weight: 0.3, Profit: 1}, {Weight: 0.5, Profit: 4}}},
+		},
+	}
+	sol, err := mckp.SolveHEU(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("profit=%g\n", sol.Profit)
+	// Output:
+	// profit=5
+}

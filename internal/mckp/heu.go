@@ -1,0 +1,161 @@
+package mckp
+
+import (
+	"container/heap"
+)
+
+// SolveHEU solves the instance approximately with the HEU-OE greedy
+// heuristic (Khan 1998, ch. 4; the classic MCKP greedy of Zemel /
+// Sinha–Zoltners):
+//
+//  1. per class, prune IP-dominated items and keep the LP frontier
+//     (upper convex hull of weight→profit), along which incremental
+//     efficiencies Δp/Δw strictly decrease;
+//  2. start from each class's lightest frontier item;
+//  3. repeatedly apply the single frontier upgrade with the globally
+//     best incremental efficiency that still fits the residual
+//     capacity, until no upgrade fits.
+//
+// The running time is O(Σ|items| log n). The result is feasible
+// whenever the instance is feasible; otherwise ErrInfeasible.
+func SolveHEU(in *Instance) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(in.Classes)
+	fronts := make([][]frontierItem, n)
+	pos := make([]int, n) // current frontier position per class
+	choice := make([]int, n)
+	weight := 0.0
+	profit := 0.0
+	for i, c := range in.Classes {
+		fronts[i] = lpFrontier(ipFrontier(c.Items))
+		f0 := fronts[i][0]
+		pos[i] = 0
+		choice[i] = f0.idx
+		weight += f0.weight
+		profit += f0.profit
+	}
+	if weight > in.Capacity+1e-12 {
+		return Solution{}, ErrInfeasible
+	}
+
+	// Max-heap of candidate upgrades, keyed by incremental efficiency.
+	h := &upgradeHeap{}
+	for i := range fronts {
+		if u, ok := nextUpgrade(fronts[i], pos[i], i); ok {
+			heap.Push(h, u)
+		}
+	}
+	for h.Len() > 0 {
+		u := heap.Pop(h).(upgrade)
+		if u.pos != pos[u.class]+1 {
+			continue // stale entry
+		}
+		if weight+u.dw > in.Capacity+1e-12 {
+			// This upgrade does not fit. Because per-class efficiencies
+			// decrease along the frontier, a later upgrade of the same
+			// class is never better, but it can be *lighter only if
+			// frontier weights increased* — they strictly increase, so
+			// the whole class is exhausted. Drop it.
+			continue
+		}
+		pos[u.class]++
+		f := fronts[u.class][pos[u.class]]
+		choice[u.class] = f.idx
+		weight += u.dw
+		profit += u.dp
+		if nu, ok := nextUpgrade(fronts[u.class], pos[u.class], u.class); ok {
+			heap.Push(h, nu)
+		}
+	}
+	return in.Evaluate(choice)
+}
+
+// upgrade moves class `class` from frontier position pos−1 to pos.
+type upgrade struct {
+	class, pos int
+	dw, dp     float64
+	eff        float64
+}
+
+func nextUpgrade(front []frontierItem, cur, class int) (upgrade, bool) {
+	if cur+1 >= len(front) {
+		return upgrade{}, false
+	}
+	a, b := front[cur], front[cur+1]
+	dw := b.weight - a.weight
+	dp := b.profit - a.profit
+	eff := dp / dw // frontier weights strictly increase ⇒ dw > 0
+	return upgrade{class: class, pos: cur + 1, dw: dw, dp: dp, eff: eff}, true
+}
+
+type upgradeHeap []upgrade
+
+func (h upgradeHeap) Len() int { return len(h) }
+func (h upgradeHeap) Less(i, j int) bool {
+	if h[i].eff != h[j].eff {
+		return h[i].eff > h[j].eff
+	}
+	return h[i].class < h[j].class // determinism on ties
+}
+func (h upgradeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *upgradeHeap) Push(x interface{}) { *h = append(*h, x.(upgrade)) }
+func (h *upgradeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// UpperBoundLP returns the LP-relaxation optimum of the instance: the
+// greedy fill as in SolveHEU but allowing the final, non-fitting
+// upgrade fractionally. It is an upper bound on every integral
+// solution's profit, used to sandwich solver answers in tests.
+func UpperBoundLP(in *Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(in.Classes)
+	fronts := make([][]frontierItem, n)
+	pos := make([]int, n)
+	weight, profit := 0.0, 0.0
+	for i, c := range in.Classes {
+		fronts[i] = lpFrontier(ipFrontier(c.Items))
+		weight += fronts[i][0].weight
+		profit += fronts[i][0].profit
+	}
+	if weight > in.Capacity+1e-12 {
+		return 0, ErrInfeasible
+	}
+	h := &upgradeHeap{}
+	for i := range fronts {
+		if u, ok := nextUpgrade(fronts[i], pos[i], i); ok {
+			heap.Push(h, u)
+		}
+	}
+	for h.Len() > 0 {
+		u := heap.Pop(h).(upgrade)
+		if u.pos != pos[u.class]+1 {
+			continue
+		}
+		rem := in.Capacity - weight
+		if u.dw > rem {
+			if rem > 0 {
+				profit += u.eff * rem
+			}
+			// In the LP optimum at most one variable is fractional; the
+			// greedy may stop at the first non-fitting upgrade because
+			// efficiencies are globally sorted.
+			return profit, nil
+		}
+		pos[u.class]++
+		weight += u.dw
+		profit += u.dp
+		if nu, ok := nextUpgrade(fronts[u.class], pos[u.class], u.class); ok {
+			heap.Push(h, nu)
+		}
+	}
+	return profit, nil
+}

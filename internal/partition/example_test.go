@@ -1,0 +1,41 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/partition"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/task"
+)
+
+// ExampleDecide partitions four heavy tasks over two cores and runs
+// the per-core Offloading Decision Manager.
+func ExampleDecide() {
+	ms := rtime.FromMillis
+	var set task.Set
+	for i := 0; i < 4; i++ {
+		set = append(set, &task.Task{
+			ID: i, Period: ms(100), Deadline: ms(100),
+			LocalWCET: ms(40), Setup: ms(4), Compensation: ms(40),
+			LocalBenefit: 1,
+			Levels:       []task.Level{{Response: ms(20), Benefit: 5}},
+		})
+	}
+	dec, err := partition.Decide(set, partition.Options{
+		Cores: 2,
+		Core:  core.Options{Solver: core.SolverDP},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	perCore := make([]int, 2)
+	for _, c := range dec.CoreOf {
+		perCore[c]++
+	}
+	fmt.Printf("tasks per core: %v, offloaded: %d, benefit: %g\n",
+		perCore, dec.OffloadedCount(), dec.TotalExpected)
+	// Output:
+	// tasks per core: [2 2], offloaded: 2, benefit: 12
+}

@@ -1,0 +1,229 @@
+// Package partition extends the paper's uniprocessor mechanism to
+// partitioned multicore systems: tasks are statically assigned to
+// cores by a bin-packing heuristic on their local densities, then the
+// Offloading Decision Manager runs independently per core with its own
+// Theorem-3 capacity. This is the standard partitioned-EDF lift of a
+// uniprocessor schedulability test — each core keeps the paper's full
+// guarantee, including compensations, because cores share nothing but
+// the (stateless from the client's view) unreliable server.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/task"
+)
+
+// Strategy selects the bin-packing heuristic for task placement.
+type Strategy int
+
+const (
+	// WorstFit places each task on the least-loaded core — it balances
+	// load, leaving every core slack for offloading weights, and is
+	// the default.
+	WorstFit Strategy = iota
+	// FirstFit places each task on the lowest-numbered core it fits.
+	FirstFit
+	// BestFit places each task on the most-loaded core it still fits.
+	BestFit
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case WorstFit:
+		return "worst-fit"
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures the partitioned decision.
+type Options struct {
+	// Cores is the number of identical processors (≥ 1).
+	Cores int
+	// Strategy is the placement heuristic (default WorstFit).
+	Strategy Strategy
+	// Core configures the per-core Offloading Decision Manager.
+	Core core.Options
+}
+
+// Decision is a partitioned offloading configuration.
+type Decision struct {
+	// PerCore holds one uniprocessor decision per core; cores with no
+	// tasks have a nil entry.
+	PerCore []*core.Decision
+	// CoreOf maps task ID → core index.
+	CoreOf map[int]int
+	// TotalExpected sums the per-core MCKP objectives.
+	TotalExpected float64
+	Strategy      Strategy
+}
+
+// ErrUnpartitionable reports that no placement kept every core's local
+// density at or below 1 — the necessary condition for the per-core
+// all-local fallback.
+var ErrUnpartitionable = errors.New("partition: local densities do not fit the cores")
+
+// Decide partitions the set and runs the per-core decision manager.
+func Decide(set task.Set, opts Options) (*Decision, error) {
+	if opts.Cores < 1 {
+		return nil, fmt.Errorf("partition: %d cores", opts.Cores)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if len(set) == 0 {
+		return nil, errors.New("partition: empty task set")
+	}
+
+	// Decreasing-density order makes all three heuristics behave like
+	// their classic "-decreasing" variants.
+	order := make([]*task.Task, len(set))
+	copy(order, set)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Density().Cmp(order[j].Density()) > 0
+	})
+
+	one := big.NewRat(1, 1)
+	load := make([]*big.Rat, opts.Cores)
+	bins := make([]task.Set, opts.Cores)
+	for i := range load {
+		load[i] = new(big.Rat)
+	}
+	coreOf := make(map[int]int, len(set))
+	for _, t := range order {
+		d := t.Density()
+		chosen := -1
+		switch opts.Strategy {
+		case FirstFit:
+			for c := 0; c < opts.Cores; c++ {
+				if fits(load[c], d, one) {
+					chosen = c
+					break
+				}
+			}
+		case BestFit:
+			for c := 0; c < opts.Cores; c++ {
+				if !fits(load[c], d, one) {
+					continue
+				}
+				if chosen == -1 || load[c].Cmp(load[chosen]) > 0 {
+					chosen = c
+				}
+			}
+		case WorstFit:
+			for c := 0; c < opts.Cores; c++ {
+				if !fits(load[c], d, one) {
+					continue
+				}
+				if chosen == -1 || load[c].Cmp(load[chosen]) < 0 {
+					chosen = c
+				}
+			}
+		default:
+			return nil, fmt.Errorf("partition: unknown strategy %d", int(opts.Strategy))
+		}
+		if chosen == -1 {
+			return nil, fmt.Errorf("%w: task %d (density %s)", ErrUnpartitionable, t.ID, d.FloatString(3))
+		}
+		load[chosen].Add(load[chosen], d)
+		bins[chosen] = append(bins[chosen], t)
+		coreOf[t.ID] = chosen
+	}
+
+	d := &Decision{
+		PerCore:  make([]*core.Decision, opts.Cores),
+		CoreOf:   coreOf,
+		Strategy: opts.Strategy,
+	}
+	for c, bin := range bins {
+		if len(bin) == 0 {
+			continue
+		}
+		dec, err := core.Decide(bin, opts.Core)
+		if err != nil {
+			return nil, fmt.Errorf("partition: core %d: %w", c, err)
+		}
+		d.PerCore[c] = dec
+		d.TotalExpected += dec.TotalExpected
+	}
+	return d, nil
+}
+
+func fits(load, d, one *big.Rat) bool {
+	sum := new(big.Rat).Add(load, d)
+	return sum.Cmp(one) <= 0
+}
+
+// OffloadedCount sums offloaded tasks across cores.
+func (d *Decision) OffloadedCount() int {
+	n := 0
+	for _, pc := range d.PerCore {
+		if pc != nil {
+			n += pc.OffloadedCount()
+		}
+	}
+	return n
+}
+
+// Result aggregates the per-core simulations.
+type Result struct {
+	PerCore []*sched.Result
+	Misses  int
+	// TotalBenefit / TotalBaseline aggregate the weighted benefits.
+	TotalBenefit  float64
+	TotalBaseline float64
+}
+
+// NormalizedBenefit mirrors sched.Result.NormalizedBenefit.
+func (r *Result) NormalizedBenefit() float64 {
+	if r.TotalBaseline <= 0 {
+		return 1
+	}
+	return r.TotalBenefit / r.TotalBaseline
+}
+
+// Simulate runs each core's schedule independently. mkServer supplies
+// one server instance per core (cores issue requests concurrently, so
+// each needs its own monotone-clock view; for a shared physical server
+// use stochastically identical instances with forked RNGs).
+func Simulate(d *Decision, mkServer func(coreIdx int) server.Server, horizon rtime.Duration) (*Result, error) {
+	if d == nil {
+		return nil, errors.New("partition: nil decision")
+	}
+	res := &Result{PerCore: make([]*sched.Result, len(d.PerCore))}
+	for c, pc := range d.PerCore {
+		if pc == nil {
+			continue
+		}
+		var srv server.Server
+		if mkServer != nil {
+			srv = mkServer(c)
+		}
+		r, err := sched.Run(sched.Config{
+			Assignments: pc.Assignments(),
+			Server:      srv,
+			Horizon:     horizon,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("partition: core %d: %w", c, err)
+		}
+		res.PerCore[c] = r
+		res.Misses += r.Misses
+		res.TotalBenefit += r.TotalBenefit
+		res.TotalBaseline += r.TotalBaseline
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package partition
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+func ms(v int64) rtime.Duration { return rtime.FromMillis(v) }
+
+func heavySet(n int, util float64) task.Set {
+	set := make(task.Set, 0, n)
+	for i := 0; i < n; i++ {
+		period := ms(100)
+		c := rtime.Duration(util * float64(period))
+		set = append(set, &task.Task{
+			ID: i, Period: period, Deadline: period,
+			LocalWCET: c, Setup: c / 10, Compensation: c,
+			LocalBenefit: 1,
+			Levels: []task.Level{
+				{Response: ms(20), Benefit: 3},
+				{Response: ms(50), Benefit: 8},
+			},
+		})
+	}
+	return set
+}
+
+func TestDecidePartitionsAndOffloads(t *testing.T) {
+	// 6 tasks × 0.4 local utilization: needs ≥ 3 cores for all-local.
+	set := heavySet(6, 0.4)
+	d, err := Decide(set, Options{Cores: 3, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.CoreOf) != 6 {
+		t.Fatalf("placed %d tasks", len(d.CoreOf))
+	}
+	counts := make([]int, 3)
+	for _, c := range d.CoreOf {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n != 2 {
+			t.Fatalf("core %d has %d tasks (worst-fit should balance 2/2/2): %v", c, n, counts)
+		}
+	}
+	if d.OffloadedCount() == 0 {
+		t.Fatal("no offloading despite per-core capacity")
+	}
+	one := big.NewRat(1, 1)
+	for c, pc := range d.PerCore {
+		if pc == nil {
+			t.Fatalf("core %d empty", c)
+		}
+		if pc.Theorem3Total.Cmp(one) > 0 {
+			t.Fatalf("core %d over capacity: %v", c, pc.Theorem3Total)
+		}
+	}
+}
+
+func TestMoreCoresMoreBenefit(t *testing.T) {
+	set := heavySet(6, 0.3)
+	single, err := Decide(set, Options{Cores: 2, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Decide(set, Options{Cores: 4, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.TotalExpected < single.TotalExpected {
+		t.Fatalf("4 cores (%g) worse than 2 (%g)", quad.TotalExpected, single.TotalExpected)
+	}
+}
+
+func TestUnpartitionable(t *testing.T) {
+	set := heavySet(4, 0.6) // total 2.4 > 2 cores
+	_, err := Decide(set, Options{Cores: 2, Core: core.Options{Solver: core.SolverDP}})
+	if !errors.Is(err, ErrUnpartitionable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	// Densities 0.6, 0.5, 0.4, 0.3 on two cores:
+	// first-fit-decreasing: core0 {0.6, 0.4}, core1 {0.5, 0.3};
+	// worst-fit-decreasing: core0 {0.6, 0.3}, core1 {0.5, 0.4};
+	// best-fit-decreasing:  core0 {0.6, 0.4}, core1 {0.5, 0.3}.
+	mk := func() task.Set {
+		var set task.Set
+		for i, u := range []float64{0.6, 0.5, 0.4, 0.3} {
+			period := ms(100)
+			set = append(set, &task.Task{
+				ID: i, Period: period, Deadline: period,
+				LocalWCET: rtime.Duration(u * float64(period)), LocalBenefit: 1,
+			})
+		}
+		return set
+	}
+	ff, err := Decide(mk(), Options{Cores: 2, Strategy: FirstFit, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.CoreOf[0] != 0 || ff.CoreOf[2] != 0 || ff.CoreOf[1] != 1 || ff.CoreOf[3] != 1 {
+		t.Fatalf("first-fit placement %v", ff.CoreOf)
+	}
+	wf, err := Decide(mk(), Options{Cores: 2, Strategy: WorstFit, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.CoreOf[0] != 0 || wf.CoreOf[1] != 1 || wf.CoreOf[2] != 1 || wf.CoreOf[3] != 0 {
+		t.Fatalf("worst-fit placement %v", wf.CoreOf)
+	}
+	bf, err := Decide(mk(), Options{Cores: 2, Strategy: BestFit, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.CoreOf[2] != 0 || bf.CoreOf[3] != 1 {
+		t.Fatalf("best-fit placement %v", bf.CoreOf)
+	}
+	for _, s := range []Strategy{WorstFit, FirstFit, BestFit} {
+		if s.String() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy name empty")
+	}
+	if _, err := Decide(mk(), Options{Cores: 2, Strategy: Strategy(9)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	if _, err := Decide(heavySet(2, 0.1), Options{Cores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := Decide(nil, Options{Cores: 1}); err == nil {
+		t.Error("empty set accepted")
+	}
+	bad := task.Set{{ID: 1}}
+	if _, err := Decide(bad, Options{Cores: 1}); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestSimulatePartitioned(t *testing.T) {
+	set := heavySet(6, 0.3)
+	d, err := Decide(set, Options{Cores: 3, Core: core.Options{Solver: core.SolverDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(5)
+	res, err := Simulate(d, func(int) server.Server {
+		s, err := server.NewScenario(rng.Fork(), server.Idle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}, rtime.FromSeconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses", res.Misses)
+	}
+	if res.NormalizedBenefit() <= 1 {
+		t.Fatalf("normalized benefit %g — offloading earned nothing", res.NormalizedBenefit())
+	}
+	// Adversarial server: still miss-free.
+	res, err = Simulate(d, func(int) server.Server { return server.Fixed{Lost: true} }, rtime.FromSeconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses under lost server", res.Misses)
+	}
+	if _, err := Simulate(nil, nil, rtime.FromSeconds(1)); err == nil {
+		t.Error("nil decision accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package rta_test
+
+import (
+	"fmt"
+
+	"rtoffload/internal/rta"
+	"rtoffload/internal/rtime"
+)
+
+// ExampleAnalyze contrasts the two fixed-priority suspension
+// treatments on a self-suspending high-priority task: the oblivious
+// analysis charges the suspension as interference and rejects, the
+// jitter analysis accepts.
+func ExampleAnalyze() {
+	ms := rtime.FromMillis
+	tasks := []rta.Task{
+		{ID: 1, C1: ms(1), C2: ms(1), Suspend: ms(6), D: ms(10), T: ms(10)},
+		{ID: 2, C1: ms(7), D: ms(12), T: ms(12)},
+	}
+	obl, _ := rta.Analyze(tasks, rta.Oblivious)
+	jit, _ := rta.Analyze(tasks, rta.Jitter)
+	fmt.Printf("oblivious=%v jitter=%v (R2=%v)\n",
+		obl.Schedulable, jit.Schedulable, jit.Response[1])
+	// Output:
+	// oblivious=false jitter=true (R2=11ms)
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"fmt"
+
+	"rtoffload/internal/rtime"
+)
+
+// PowerModel converts a simulated schedule into client-side energy —
+// the second motivation the paper gives for offloading (saving energy
+// on the embedded system, after Li et al., CASES 2001). Offloading
+// trades CPU-active time for radio-active time: a hit replaces the
+// whole local computation with a setup plus an idle wait with the
+// radio listening, while a compensation pays the radio *and* the local
+// computation.
+type PowerModel struct {
+	// CPUActiveWatts is drawn while the processor executes any
+	// sub-job; CPUIdleWatts while it idles or waits.
+	CPUActiveWatts float64
+	CPUIdleWatts   float64
+	// RadioWatts is drawn during offload suspensions (transmit +
+	// listen window from request to result/timer).
+	RadioWatts float64
+}
+
+// Validate checks the model.
+func (p PowerModel) Validate() error {
+	if p.CPUActiveWatts < 0 || p.CPUIdleWatts < 0 || p.RadioWatts < 0 {
+		return fmt.Errorf("sched: negative power")
+	}
+	if p.CPUActiveWatts < p.CPUIdleWatts {
+		return fmt.Errorf("sched: active power below idle power")
+	}
+	return nil
+}
+
+// EnergyBreakdown is the per-run energy account.
+type EnergyBreakdown struct {
+	CPUActive rtime.Duration // processor busy on sub-jobs
+	CPUIdle   rtime.Duration // remainder of the makespan
+	Radio     rtime.Duration // accumulated suspension windows
+	Joules    float64
+}
+
+// Energy computes the client's energy over the simulated schedule.
+// The idle term covers the span from time 0 to the last completion.
+func (r *Result) Energy(p PowerModel) (EnergyBreakdown, error) {
+	if err := p.Validate(); err != nil {
+		return EnergyBreakdown{}, err
+	}
+	eb := EnergyBreakdown{CPUActive: r.CPUBusy, Radio: r.RadioBusy}
+	if span := r.Makespan; span > eb.CPUActive {
+		eb.CPUIdle = span - eb.CPUActive
+	}
+	eb.Joules = p.CPUActiveWatts*eb.CPUActive.Seconds() +
+		p.CPUIdleWatts*eb.CPUIdle.Seconds() +
+		p.RadioWatts*eb.Radio.Seconds()
+	return eb, nil
+}

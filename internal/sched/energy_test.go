@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+)
+
+func TestPowerModelValidate(t *testing.T) {
+	good := PowerModel{CPUActiveWatts: 2, CPUIdleWatts: 0.3, RadioWatts: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []PowerModel{
+		{CPUActiveWatts: -1},
+		{CPUActiveWatts: 1, CPUIdleWatts: -1},
+		{CPUActiveWatts: 1, CPUIdleWatts: 0, RadioWatts: -1},
+		{CPUActiveWatts: 0.1, CPUIdleWatts: 0.5},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted", i)
+		}
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	// One offloaded task: setup 2ms, wait 8ms (lost → timer), comp 6ms.
+	// One job within a 30ms horizon: CPU busy 8ms, radio 8ms.
+	tk := offloadTask(1, ms(2), ms(6), ms(1), ms(30), ms(30), ms(8), 5)
+	res, err := Run(Config{
+		Assignments: []Assignment{{Task: tk, Offload: true}},
+		Server:      server.Fixed{Lost: true},
+		Horizon:     ms(30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUBusy != ms(8) {
+		t.Fatalf("CPUBusy = %v, want 8ms", res.CPUBusy)
+	}
+	if res.RadioBusy != ms(8) {
+		t.Fatalf("RadioBusy = %v, want 8ms", res.RadioBusy)
+	}
+	// Job finishes at 2+8+6 = 16ms.
+	if res.Makespan != ms(16) {
+		t.Fatalf("Makespan = %v, want 16ms", res.Makespan)
+	}
+	p := PowerModel{CPUActiveWatts: 2, CPUIdleWatts: 0.5, RadioWatts: 1}
+	eb, err := res.Energy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 W × 8ms + 0.5 W × 8ms + 1 W × 8ms = 16 + 4 + 8 = 28 mJ.
+	if math.Abs(eb.Joules-0.028) > 1e-9 {
+		t.Fatalf("energy = %g J, want 0.028", eb.Joules)
+	}
+	if eb.CPUIdle != ms(8) {
+		t.Fatalf("idle = %v", eb.CPUIdle)
+	}
+	if _, err := res.Energy(PowerModel{CPUActiveWatts: -1}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// The energy story of offloading: with a responsive server the client
+// CPU does far less work than running locally, at the price of radio
+// time; with a dead server compensation pays both.
+func TestEnergyOffloadingSavesCPU(t *testing.T) {
+	run := func(offload bool, srv server.Server) EnergyBreakdown {
+		tk := offloadTask(1, ms(2), ms(40), ms(1), ms(100), ms(100), ms(10), 5)
+		res, err := Run(Config{
+			Assignments: []Assignment{{Task: tk, Offload: offload}},
+			Server:      srv,
+			Horizon:     rtime.FromSeconds(2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := res.Energy(PowerModel{CPUActiveWatts: 2, CPUIdleWatts: 0.1, RadioWatts: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eb
+	}
+	local := run(false, nil)
+	hit := run(true, server.Fixed{Latency: ms(5)})
+	dead := run(true, server.Fixed{Lost: true})
+	if hit.CPUActive >= local.CPUActive/4 {
+		t.Fatalf("offload hits did not cut CPU time: %v vs %v", hit.CPUActive, local.CPUActive)
+	}
+	if hit.Radio == 0 || local.Radio != 0 {
+		t.Fatalf("radio accounting wrong: hit=%v local=%v", hit.Radio, local.Radio)
+	}
+	if dead.CPUActive <= local.CPUActive {
+		t.Fatalf("dead-server compensation should cost at least local CPU: %v vs %v", dead.CPUActive, local.CPUActive)
+	}
+	if hit.Joules >= local.Joules {
+		t.Fatalf("offloading saved no energy: %g vs %g J", hit.Joules, local.Joules)
+	}
+	if dead.Joules <= local.Joules {
+		t.Fatalf("dead server should cost more than local: %g vs %g J", dead.Joules, local.Joules)
+	}
+}

@@ -1,0 +1,781 @@
+// Package sched simulates the paper's EDF-based scheduling algorithm
+// (§5.1) on a single preemptive processor.
+//
+// A job of an offloaded task is split into two sub-jobs: the setup
+// sub-job (Ci,1) receives the proportional relative deadline
+// Di,1 = Ci,1·(Di−Ri)/(Ci,1+Ci,2); when it completes, the offload
+// request goes to the (timing unreliable) server and the task
+// self-suspends. The second sub-job is triggered either by the result
+// returning within Ri — post-processing, Ci,3 — or by the Ri timer
+// expiring — local compensation, Ci,2. Either way its absolute
+// deadline is the job's original release + Di. All ready sub-jobs are
+// dispatched by plain EDF over their absolute deadlines.
+//
+// The simulator is event-driven and exact on the microsecond grid, can
+// record full execution traces for the invariant checkers in package
+// trace, and also implements the naive-EDF baseline the paper argues
+// against (both phases sharing the absolute deadline release+Di).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+	"rtoffload/internal/trace"
+)
+
+// Policy selects the deadline-assignment rule for offloaded jobs.
+type Policy int
+
+const (
+	// SplitEDF is the paper's algorithm: the setup sub-job gets the
+	// proportional deadline Di,1.
+	SplitEDF Policy = iota
+	// NaiveEDF assigns both phases the job's full absolute deadline —
+	// the strawman of §5.1 that performs poorly.
+	NaiveEDF
+	// FixedPriority dispatches by deadline-monotonic task priorities
+	// (both phases of an offloaded job inherit the task's priority) —
+	// the classic alternative the paper rules out for self-suspending
+	// tasks, citing Ridouard et al. Included as a baseline for the FP
+	// ablation; pair it with rta.SuspensionOblivious for analysis.
+	FixedPriority
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case SplitEDF:
+		return "split-edf"
+	case NaiveEDF:
+		return "naive-edf"
+	case FixedPriority:
+		return "fixed-priority"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Assignment binds a task to its offloading decision.
+type Assignment struct {
+	Task *task.Task
+	// Offload selects offloaded execution at the given level; false
+	// means pure local execution and Level is ignored.
+	Offload bool
+	// Level indexes Task.Levels; its Response is the budget Ri.
+	Level int
+}
+
+// Budget returns Ri for offloaded assignments.
+func (a Assignment) Budget() rtime.Duration {
+	if !a.Offload {
+		return 0
+	}
+	return a.Task.Levels[a.Level].Response
+}
+
+// Validate checks the assignment is internally consistent and — for
+// offloaded tasks — that the split deadline exists.
+func (a Assignment) Validate() error {
+	if a.Task == nil {
+		return fmt.Errorf("sched: assignment without task")
+	}
+	if err := a.Task.Validate(); err != nil {
+		return err
+	}
+	if !a.Offload {
+		return nil
+	}
+	if a.Level < 0 || a.Level >= len(a.Task.Levels) {
+		return fmt.Errorf("sched: task %d level %d out of range", a.Task.ID, a.Level)
+	}
+	_, err := dbf.SplitDeadline(a.Task.SetupAt(a.Level), a.Task.SecondPhaseAt(a.Level),
+		a.Task.Deadline, a.Budget())
+	return err
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Assignments []Assignment
+	// Server handles offload requests; required when any assignment
+	// offloads a level without a ServerID.
+	Server server.Server
+	// Servers routes levels with a non-empty ServerID to named
+	// components (edge box, cloud GPU, …).
+	Servers map[string]server.Server
+	// Horizon: jobs are released strictly before this instant; the run
+	// then drains all released jobs.
+	Horizon rtime.Duration
+	// Policy selects deadline assignment (default SplitEDF).
+	Policy Policy
+	// ReleaseJitter > 0 makes releases sporadic: each inter-arrival is
+	// Ti plus a uniform draw from [0, ReleaseJitter]. Requires RNG.
+	ReleaseJitter rtime.Duration
+	// RNG drives sporadic jitter; may be nil for periodic releases.
+	RNG *stats.RNG
+	// RecordTrace captures the full execution trace (costly for long
+	// runs).
+	RecordTrace bool
+	// OnMiss selects the overrun policy (default ContinueLate).
+	OnMiss MissPolicy
+	// CollectLatencies stores every job's response time per task,
+	// enabling Result.LatencyPercentile.
+	CollectLatencies bool
+}
+
+// MissPolicy controls what happens when a job reaches its absolute
+// deadline unfinished.
+type MissPolicy int
+
+const (
+	// ContinueLate keeps executing the late job (counted as a miss) —
+	// late results may still be useful, and backlog cascades visibly.
+	ContinueLate MissPolicy = iota
+	// AbortAtDeadline discards a job's remaining work the instant its
+	// deadline passes — the firm-deadline view, useful for overload
+	// studies of the baselines where late frames are worthless.
+	AbortAtDeadline
+)
+
+// String implements fmt.Stringer.
+func (m MissPolicy) String() string {
+	switch m {
+	case ContinueLate:
+		return "continue-late"
+	case AbortAtDeadline:
+		return "abort-at-deadline"
+	default:
+		return fmt.Sprintf("MissPolicy(%d)", int(m))
+	}
+}
+
+// Outcome classifies how a job obtained its result.
+type Outcome int
+
+const (
+	// RanLocal: task was assigned local execution.
+	RanLocal Outcome = iota
+	// OffloadHit: the server result returned within the budget.
+	OffloadHit
+	// OffloadMissed: the budget expired and compensation ran.
+	OffloadMissed
+)
+
+// JobResult records one completed (or abandoned) job.
+type JobResult struct {
+	TaskID   int
+	Seq      int64
+	Release  rtime.Instant
+	Deadline rtime.Instant
+	// Finish is the completion instant of the job's last sub-job.
+	Finish   rtime.Instant
+	Outcome  Outcome
+	Benefit  float64 // level benefit on OffloadHit, else the local benefit
+	Missed   bool    // deadline miss (or unfinished at drain end)
+	Finished bool
+}
+
+// TaskStats aggregates per-task counters.
+type TaskStats struct {
+	TaskID        int
+	Released      int
+	Finished      int
+	Misses        int
+	Hits          int // results served within budget
+	Compensations int
+	LocalRuns     int
+	// BoundViolations counts compensations on levels that a declared
+	// pessimistic server bound claimed could never time out (§3's
+	// extension). Non-zero means the bound was wrong and the
+	// configuration's analysis was unsound.
+	BoundViolations int
+	// Aborted counts jobs discarded by the AbortAtDeadline policy
+	// (each also counts as a miss).
+	Aborted    int
+	BenefitSum float64
+	// BaselineSum is what the task would have earned executing every
+	// job locally — the normalization denominator of Figure 2.
+	BaselineSum  float64
+	WorstLatency rtime.Duration // worst job response time (finish − release)
+	// Latencies holds every finished job's response time when
+	// Config.CollectLatencies is set.
+	Latencies []rtime.Duration
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Jobs    []JobResult
+	PerTask map[int]*TaskStats
+	Misses  int
+	Horizon rtime.Duration
+	Policy  Policy
+	// TotalBenefit sums job benefits weighted by task weight;
+	// TotalBaseline is the all-local normalization.
+	TotalBenefit  float64
+	TotalBaseline float64
+	// CPUBusy is the total processor time spent on sub-jobs; RadioBusy
+	// the accumulated offload suspension windows (request in flight or
+	// timer pending); Makespan the completion instant of the last job.
+	// Together they feed the PowerModel energy account.
+	CPUBusy   rtime.Duration
+	RadioBusy rtime.Duration
+	Makespan  rtime.Duration
+	Trace     *trace.Trace
+}
+
+// NormalizedBenefit returns TotalBenefit/TotalBaseline (1.0 = no
+// benefit over pure local execution), or 1 when the baseline is empty.
+func (r *Result) NormalizedBenefit() float64 {
+	if r.TotalBaseline <= 0 {
+		return 1
+	}
+	return r.TotalBenefit / r.TotalBaseline
+}
+
+// jobPhase is the execution state of a job.
+type jobPhase int
+
+const (
+	phaseFirst     jobPhase = iota // Local or Setup sub-job on the CPU
+	phaseSuspended                 // waiting for server result / timer
+	phaseSecond                    // Post or Comp sub-job on the CPU
+	phaseDone
+)
+
+type jobState struct {
+	asg      *Assignment
+	seq      int64
+	release  rtime.Instant
+	deadline rtime.Instant // release + D
+
+	phase       jobPhase
+	kind        trace.Kind    // current sub-job kind
+	subDeadline rtime.Instant // current sub-job EDF deadline
+	subRelease  rtime.Instant
+	wcet        rtime.Duration
+	remaining   rtime.Duration
+
+	// prio is the dispatch key: the sub-job's absolute deadline under
+	// the EDF policies, the task's fixed rank under FixedPriority.
+	prio int64
+
+	wake    rtime.Instant // for phaseSuspended
+	hit     bool          // result arrived within budget
+	aborted bool          // discarded by AbortAtDeadline
+
+	heapIdx int
+}
+
+// readyQueue orders runnable sub-jobs by (priority, task ID, seq).
+type readyQueue []*jobState
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	if a.asg.Task.ID != b.asg.Task.ID {
+		return a.asg.Task.ID < b.asg.Task.ID
+	}
+	return a.seq < b.seq
+}
+func (q readyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+func (q *readyQueue) Push(x interface{}) {
+	j := x.(*jobState)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+func (q *readyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// wakeQueue orders suspended jobs by wake instant.
+type wakeQueue []*jobState
+
+func (q wakeQueue) Len() int            { return len(q) }
+func (q wakeQueue) Less(i, j int) bool  { return q[i].wake < q[j].wake }
+func (q wakeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *wakeQueue) Push(x interface{}) { *q = append(*q, x.(*jobState)) }
+func (q *wakeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sched: horizon %v must be positive", cfg.Horizon)
+	}
+	if len(cfg.Assignments) == 0 {
+		return nil, fmt.Errorf("sched: no assignments")
+	}
+	ids := map[int]bool{}
+	for i := range cfg.Assignments {
+		a := &cfg.Assignments[i]
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if ids[a.Task.ID] {
+			return nil, fmt.Errorf("sched: duplicate task %d", a.Task.ID)
+		}
+		ids[a.Task.ID] = true
+		if a.Offload {
+			if id := a.Task.Levels[a.Level].ServerID; id != "" {
+				if cfg.Servers[id] == nil {
+					return nil, fmt.Errorf("sched: task %d level %d routes to unknown server %q", a.Task.ID, a.Level, id)
+				}
+			} else if cfg.Server == nil {
+				return nil, fmt.Errorf("sched: offloaded assignments require a server")
+			}
+		}
+	}
+	if cfg.ReleaseJitter > 0 && cfg.RNG == nil {
+		return nil, fmt.Errorf("sched: release jitter requires an RNG")
+	}
+	if cfg.Policy != SplitEDF && cfg.Policy != NaiveEDF && cfg.Policy != FixedPriority {
+		return nil, fmt.Errorf("sched: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.OnMiss != ContinueLate && cfg.OnMiss != AbortAtDeadline {
+		return nil, fmt.Errorf("sched: unknown miss policy %d", int(cfg.OnMiss))
+	}
+
+	s := &sim{cfg: &cfg, res: &Result{
+		PerTask: make(map[int]*TaskStats, len(cfg.Assignments)),
+		Horizon: cfg.Horizon,
+		Policy:  cfg.Policy,
+	}}
+	if cfg.RecordTrace {
+		s.res.Trace = &trace.Trace{}
+	}
+	s.run()
+	return s.res, nil
+}
+
+type sim struct {
+	cfg *Config
+	res *Result
+
+	now    rtime.Instant
+	ready  readyQueue
+	waking wakeQueue
+
+	// nextRelease[i] is the next release instant for assignment i.
+	nextRelease []rtime.Instant
+	seq         []int64
+	// rank[taskID] is the deadline-monotonic priority under
+	// FixedPriority (lower = more urgent).
+	rank map[int]int64
+	// deadlines orders live jobs by absolute deadline for the
+	// AbortAtDeadline policy (lazy deletion).
+	deadlines deadlineQueue
+}
+
+// deadlineQueue is a min-heap over job absolute deadlines.
+type deadlineQueue []*jobState
+
+func (q deadlineQueue) Len() int            { return len(q) }
+func (q deadlineQueue) Less(i, j int) bool  { return q[i].deadline < q[j].deadline }
+func (q deadlineQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *deadlineQueue) Push(x interface{}) { *q = append(*q, x.(*jobState)) }
+func (q *deadlineQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// prioOf computes a job's dispatch key under the configured policy.
+func (s *sim) prioOf(j *jobState) int64 {
+	if s.cfg.Policy == FixedPriority {
+		return s.rank[j.asg.Task.ID]
+	}
+	return int64(j.subDeadline)
+}
+
+func (s *sim) run() {
+	cfg := s.cfg
+	s.nextRelease = make([]rtime.Instant, len(cfg.Assignments))
+	s.seq = make([]int64, len(cfg.Assignments))
+	for i := range cfg.Assignments {
+		t := cfg.Assignments[i].Task
+		s.res.PerTask[t.ID] = &TaskStats{TaskID: t.ID}
+	}
+	if cfg.Policy == FixedPriority {
+		// Deadline-monotonic ranks, ties by task ID.
+		type dt struct {
+			d  rtime.Duration
+			id int
+		}
+		order := make([]dt, 0, len(cfg.Assignments))
+		for i := range cfg.Assignments {
+			t := cfg.Assignments[i].Task
+			order = append(order, dt{t.Deadline, t.ID})
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].d != order[j].d {
+				return order[i].d < order[j].d
+			}
+			return order[i].id < order[j].id
+		})
+		s.rank = make(map[int]int64, len(order))
+		for r, o := range order {
+			s.rank[o.id] = int64(r)
+		}
+	}
+	horizon := rtime.Instant(cfg.Horizon)
+
+	for {
+		s.admit(horizon)
+		if len(s.ready) == 0 {
+			next := s.nextEvent(horizon)
+			if next == rtime.Forever {
+				s.res.Makespan = rtime.Duration(s.now)
+				break
+			}
+			s.now = next
+			continue
+		}
+		j := s.ready[0]
+		if j.aborted { // lazy removal after AbortAtDeadline
+			heap.Pop(&s.ready)
+			continue
+		}
+		slice := j.remaining
+		if next := s.nextEvent(horizon); next != rtime.Forever {
+			if gap := next.Sub(s.now); gap < slice {
+				slice = gap
+			}
+		}
+		start := s.now
+		s.now = s.now.Add(slice)
+		j.remaining -= slice
+		s.res.CPUBusy += slice
+		if s.res.Trace != nil {
+			s.res.Trace.Segments = append(s.res.Trace.Segments, trace.Segment{
+				Start: start, End: s.now,
+				Sub: trace.SubID{TaskID: j.asg.Task.ID, Seq: j.seq, Kind: j.kind},
+			})
+		}
+		if j.remaining == 0 {
+			heap.Pop(&s.ready)
+			s.complete(j)
+		}
+	}
+}
+
+// admit moves releases and wakes due at or before now into the ready
+// queue.
+func (s *sim) admit(horizon rtime.Instant) {
+	for i := range s.cfg.Assignments {
+		for s.nextRelease[i] <= s.now && s.nextRelease[i] < horizon {
+			s.release(i, s.nextRelease[i])
+			s.advanceRelease(i)
+		}
+	}
+	for len(s.waking) > 0 && s.waking[0].wake <= s.now {
+		j := heap.Pop(&s.waking).(*jobState)
+		if j.aborted {
+			continue
+		}
+		s.resume(j)
+	}
+	if s.cfg.OnMiss == AbortAtDeadline {
+		for len(s.deadlines) > 0 && s.deadlines[0].deadline <= s.now {
+			j := heap.Pop(&s.deadlines).(*jobState)
+			if j.phase == phaseDone || j.aborted {
+				continue
+			}
+			s.abort(j)
+		}
+	}
+}
+
+// abort discards a job's remaining work at its deadline.
+func (s *sim) abort(j *jobState) {
+	j.aborted = true
+	if j.phase == phaseFirst || j.phase == phaseSecond {
+		s.recordSubAbandoned(j)
+	}
+	t := j.asg.Task
+	st := s.res.PerTask[t.ID]
+	st.Misses++
+	st.Aborted++
+	s.res.Misses++
+	outcome := RanLocal
+	if j.asg.Offload {
+		outcome = OffloadMissed // never served within its budget
+	}
+	s.res.Jobs = append(s.res.Jobs, JobResult{
+		TaskID:   t.ID,
+		Seq:      j.seq,
+		Release:  j.release,
+		Deadline: j.deadline,
+		Finish:   j.deadline,
+		Outcome:  outcome,
+		Missed:   true,
+		Finished: false,
+	})
+	j.phase = phaseDone
+}
+
+// recordSubAbandoned appends an abandoned sub-job record to the trace.
+func (s *sim) recordSubAbandoned(j *jobState) {
+	if s.res.Trace == nil {
+		return
+	}
+	s.res.Trace.Subs = append(s.res.Trace.Subs, trace.SubRecord{
+		Sub:         trace.SubID{TaskID: j.asg.Task.ID, Seq: j.seq, Kind: j.kind},
+		Release:     j.subRelease,
+		Deadline:    j.subDeadline,
+		WCET:        j.wcet,
+		Abandoned:   true,
+		AbandonTime: s.now,
+	})
+}
+
+// nextEvent returns the earliest pending release, wake, or — under
+// AbortAtDeadline — live deadline after now.
+func (s *sim) nextEvent(horizon rtime.Instant) rtime.Instant {
+	next := rtime.Forever
+	for i := range s.cfg.Assignments {
+		if r := s.nextRelease[i]; r < horizon && r < next {
+			next = r
+		}
+	}
+	if len(s.waking) > 0 && s.waking[0].wake < next {
+		next = s.waking[0].wake
+	}
+	if s.cfg.OnMiss == AbortAtDeadline {
+		for len(s.deadlines) > 0 && (s.deadlines[0].phase == phaseDone || s.deadlines[0].aborted) {
+			heap.Pop(&s.deadlines)
+		}
+		if len(s.deadlines) > 0 && s.deadlines[0].deadline < next {
+			next = s.deadlines[0].deadline
+		}
+	}
+	return next
+}
+
+func (s *sim) advanceRelease(i int) {
+	t := s.cfg.Assignments[i].Task
+	gap := t.Period
+	if s.cfg.ReleaseJitter > 0 {
+		gap += rtime.Duration(s.cfg.RNG.Int64N(int64(s.cfg.ReleaseJitter) + 1))
+	}
+	s.nextRelease[i] = s.nextRelease[i].Add(gap)
+}
+
+// release creates the job and its first sub-job.
+func (s *sim) release(i int, at rtime.Instant) {
+	a := &s.cfg.Assignments[i]
+	t := a.Task
+	j := &jobState{
+		asg:      a,
+		seq:      s.seq[i],
+		release:  at,
+		deadline: at.Add(t.Deadline),
+		phase:    phaseFirst,
+	}
+	s.seq[i]++
+	st := s.res.PerTask[t.ID]
+	st.Released++
+	st.BaselineSum += t.LocalBenefit
+	s.res.TotalBaseline += t.EffectiveWeight() * t.LocalBenefit
+
+	if a.Offload {
+		j.kind = trace.Setup
+		j.wcet = t.SetupAt(a.Level)
+		switch s.cfg.Policy {
+		case SplitEDF:
+			d1, err := dbf.SplitDeadline(t.SetupAt(a.Level), t.SecondPhaseAt(a.Level), t.Deadline, a.Budget())
+			if err != nil {
+				// Validated in Run; unreachable.
+				panic(fmt.Sprintf("sched: split deadline: %v", err))
+			}
+			j.subDeadline = at.Add(d1)
+		case NaiveEDF, FixedPriority:
+			j.subDeadline = j.deadline
+		}
+	} else {
+		j.kind = trace.Local
+		j.wcet = t.LocalWCET
+		j.subDeadline = j.deadline
+	}
+	j.remaining = j.wcet
+	j.subRelease = at
+	j.prio = s.prioOf(j)
+	heap.Push(&s.ready, j)
+	if s.cfg.OnMiss == AbortAtDeadline {
+		heap.Push(&s.deadlines, j)
+	}
+}
+
+// complete handles a finished sub-job.
+func (s *sim) complete(j *jobState) {
+	s.recordSub(j, true)
+	t := j.asg.Task
+	switch j.phase {
+	case phaseFirst:
+		if !j.asg.Offload {
+			s.finishJob(j, RanLocal, t.LocalBenefit)
+			return
+		}
+		// Issue the offload request to the level's component and
+		// suspend.
+		level := t.Levels[j.asg.Level]
+		srv := s.cfg.Server
+		if level.ServerID != "" {
+			srv = s.cfg.Servers[level.ServerID]
+		}
+		resp := srv.Respond(s.now, t.ID, level.PayloadBytes)
+		if resp.Latency < 0 {
+			// A response cannot arrive before its request; clamp
+			// misbehaving Server implementations to "instant".
+			resp.Latency = 0
+		}
+		budget := j.asg.Budget()
+		if resp.Arrives && resp.Latency <= budget {
+			j.hit = true
+			j.wake = s.now.Add(resp.Latency)
+		} else {
+			j.hit = false
+			j.wake = s.now.Add(budget)
+		}
+		j.phase = phaseSuspended
+		s.res.RadioBusy += j.wake.Sub(s.now)
+		heap.Push(&s.waking, j)
+	case phaseSecond:
+		if j.hit {
+			s.finishJob(j, OffloadHit, t.Levels[j.asg.Level].Benefit)
+		} else {
+			s.finishJob(j, OffloadMissed, t.LocalBenefit)
+		}
+	default:
+		panic("sched: completing job in unexpected phase")
+	}
+}
+
+// resume transitions a suspended job to its second sub-job.
+func (s *sim) resume(j *jobState) {
+	t := j.asg.Task
+	j.phase = phaseSecond
+	j.subRelease = j.wake
+	j.subDeadline = j.deadline
+	j.prio = s.prioOf(j)
+	if j.hit {
+		j.kind = trace.Post
+		j.wcet = t.PostProcessAt(j.asg.Level)
+	} else {
+		j.kind = trace.Comp
+		j.wcet = t.CompensationAt(j.asg.Level)
+	}
+	j.remaining = j.wcet
+	if j.wcet == 0 {
+		// Zero post-processing: the job is done the moment the result
+		// arrives. Record a zero-length sub-job for accounting.
+		s.recordSub(j, true)
+		if j.hit {
+			s.finishJob(j, OffloadHit, t.Levels[j.asg.Level].Benefit)
+		} else {
+			s.finishJob(j, OffloadMissed, t.LocalBenefit)
+		}
+		return
+	}
+	heap.Push(&s.ready, j)
+}
+
+// recordSub appends the current sub-job's record to the trace.
+func (s *sim) recordSub(j *jobState, completed bool) {
+	if s.res.Trace == nil {
+		return
+	}
+	rec := trace.SubRecord{
+		Sub:      trace.SubID{TaskID: j.asg.Task.ID, Seq: j.seq, Kind: j.kind},
+		Release:  j.subRelease,
+		Deadline: j.subDeadline,
+		WCET:     j.wcet,
+	}
+	if completed {
+		rec.Completed = true
+		rec.Completion = s.now
+	}
+	s.res.Trace.Subs = append(s.res.Trace.Subs, rec)
+}
+
+func (s *sim) finishJob(j *jobState, out Outcome, benefit float64) {
+	j.phase = phaseDone
+	t := j.asg.Task
+	st := s.res.PerTask[t.ID]
+	missed := s.now > j.deadline
+	jr := JobResult{
+		TaskID:   t.ID,
+		Seq:      j.seq,
+		Release:  j.release,
+		Deadline: j.deadline,
+		Finish:   s.now,
+		Outcome:  out,
+		Benefit:  benefit,
+		Missed:   missed,
+		Finished: true,
+	}
+	s.res.Jobs = append(s.res.Jobs, jr)
+	st.Finished++
+	switch out {
+	case RanLocal:
+		st.LocalRuns++
+	case OffloadHit:
+		st.Hits++
+	case OffloadMissed:
+		st.Compensations++
+		if t.GuaranteedAt(j.asg.Level) {
+			st.BoundViolations++
+		}
+	}
+	if missed {
+		st.Misses++
+		s.res.Misses++
+	}
+	st.BenefitSum += benefit
+	s.res.TotalBenefit += t.EffectiveWeight() * benefit
+	lat := s.now.Sub(j.release)
+	if lat > st.WorstLatency {
+		st.WorstLatency = lat
+	}
+	if s.cfg.CollectLatencies {
+		st.Latencies = append(st.Latencies, lat)
+	}
+}
+
+// LatencyPercentile returns the p-th percentile (0..100) of a task's
+// collected response times. It requires Config.CollectLatencies and at
+// least one finished job; otherwise ok is false.
+func (r *Result) LatencyPercentile(taskID int, p float64) (rtime.Duration, bool) {
+	st := r.PerTask[taskID]
+	if st == nil || len(st.Latencies) == 0 || p < 0 || p > 100 {
+		return 0, false
+	}
+	xs := make([]float64, len(st.Latencies))
+	for i, l := range st.Latencies {
+		xs[i] = float64(l)
+	}
+	return rtime.Duration(stats.Percentile(xs, p)), true
+}

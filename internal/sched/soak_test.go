@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"rtoffload/internal/benefit"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// Soak: a 30-task mixed system over a 30-minute horizon (~150k jobs)
+// with stochastic responses and sporadic jitter. Guards against slow
+// leaks, heap corruption, overflow at large instants, and counter
+// drift that short tests cannot see.
+func TestSoakLongHorizon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := stats.NewRNG(4242)
+	set, err := task.GenerateFigure3(rng.Fork(), task.DefaultFigure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplers := map[int]server.ResponseSampler{}
+	asgs := make([]Assignment, 0, len(set))
+	for i, tk := range set {
+		if i%3 == 0 {
+			asgs = append(asgs, Assignment{Task: tk})
+			continue
+		}
+		asgs = append(asgs, Assignment{Task: tk, Offload: true, Level: 7})
+		samplers[tk.ID] = benefit.FromTask(tk)
+	}
+	res, err := Run(Config{
+		Assignments:   asgs,
+		Server:        server.NewCDF(rng.Fork(), samplers),
+		Horizon:       30 * rtime.Minute,
+		ReleaseJitter: rtime.FromMillis(20),
+		RNG:           rng.Fork(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, st := range res.PerTask {
+		if st.Finished != st.Released {
+			t.Fatalf("task %d: %d released, %d finished", st.TaskID, st.Released, st.Finished)
+		}
+		if st.Hits+st.Compensations+st.LocalRuns != st.Finished {
+			t.Fatalf("task %d: outcome counters drifted", st.TaskID)
+		}
+		total += st.Finished
+	}
+	if total < 70_000 {
+		t.Fatalf("only %d jobs over 30 minutes", total)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("%d misses in a feasible system", res.Misses)
+	}
+	if res.Makespan <= 0 || res.CPUBusy <= 0 {
+		t.Fatal("accounting fields empty")
+	}
+	if len(res.Jobs) != total {
+		t.Fatalf("job records %d vs counters %d", len(res.Jobs), total)
+	}
+}

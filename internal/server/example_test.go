@@ -1,0 +1,37 @@
+package server_test
+
+import (
+	"fmt"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+)
+
+// ExampleReservationConfig_WCRTBound derives a provable response-time
+// bound from a reservation contract — the input to the §3
+// guaranteed-level extension (task.ServerWCRT).
+func ExampleReservationConfig_WCRTBound() {
+	ms := rtime.FromMillis
+	cfg := server.ReservationConfig{
+		Budget:         ms(4),
+		Period:         ms(10),
+		ServicePerByte: 0.1, // µs per byte
+		ServiceFloor:   ms(1),
+		TransferBound:  ms(2),
+	}
+	// 70 kB → 8 ms demand → served across 2 reservation periods.
+	fmt.Println(cfg.WCRTBound(70_000))
+	// Output:
+	// 26ms
+}
+
+// ExampleBounded turns any unreliable server into a bounded one — the
+// reservation-backed view of a component.
+func ExampleBounded() {
+	ms := rtime.FromMillis
+	b := server.Bounded{Inner: server.Fixed{Lost: true}, Bound: ms(40)}
+	resp := b.Respond(0, 1, 0)
+	fmt.Println(resp.Arrives, resp.Latency)
+	// Output:
+	// true 40ms
+}

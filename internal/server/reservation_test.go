@@ -1,0 +1,93 @@
+package server
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/stats"
+)
+
+func resCfg() ReservationConfig {
+	return ReservationConfig{
+		Budget:         rtime.FromMillis(4),
+		Period:         rtime.FromMillis(10),
+		ServicePerByte: 0.1, // 0.1µs per byte
+		ServiceFloor:   rtime.FromMillis(1),
+		TransferBound:  rtime.FromMillis(2),
+	}
+}
+
+func TestReservationValidate(t *testing.T) {
+	if _, err := NewReservation(resCfg()); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []func(*ReservationConfig){
+		func(c *ReservationConfig) { c.Budget = 0 },
+		func(c *ReservationConfig) { c.Budget = c.Period + 1 },
+		func(c *ReservationConfig) { c.Period = 0 },
+		func(c *ReservationConfig) { c.ServicePerByte = -1 },
+		func(c *ReservationConfig) { c.TransferBound = -1 },
+	} {
+		c := resCfg()
+		m(&c)
+		if _, err := NewReservation(c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestWCRTBoundFormula(t *testing.T) {
+	c := resCfg()
+	// Payload 70kB → demand 1ms + 7ms = 8ms → n = ⌈8/4⌉ = 2.
+	// WCRT = 1·10 + (10−4) + 8 + 2 = 26ms.
+	if got := c.WCRTBound(70_000); got != rtime.FromMillis(26) {
+		t.Fatalf("WCRTBound = %v, want 26ms", got)
+	}
+	// Tiny payload: demand = floor 1ms → n = 1 → 0 + 6 + 1 + 2 = 9ms.
+	if got := c.WCRTBound(0); got != rtime.FromMillis(9) {
+		t.Fatalf("WCRTBound(0) = %v, want 9ms", got)
+	}
+}
+
+// Every isolated response is within WCRTBound, at any issue instant.
+func TestReservationHonorsBound(t *testing.T) {
+	check := func(seed uint64, payloadRaw uint32, gapRaw uint16) bool {
+		c := resCfg()
+		r, err := NewReservation(c)
+		if err != nil {
+			return false
+		}
+		rng := stats.NewRNG(seed)
+		at := rtime.Instant(0)
+		for i := 0; i < 20; i++ {
+			payload := int64(payloadRaw % 100_000)
+			bound := c.WCRTBound(payload)
+			resp := r.Respond(at, 1, payload)
+			if !resp.Arrives || resp.Latency > bound {
+				return false
+			}
+			// Let the backlog drain fully before the next request, as a
+			// well-dimensioned client (period ≥ WCRT) does.
+			at = at.Add(bound + rtime.Duration(gapRaw) + rtime.Duration(rng.Int64N(10_000)))
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservationBacklogChains(t *testing.T) {
+	c := resCfg()
+	r, _ := NewReservation(c)
+	// Two back-to-back requests: the second waits for the first's
+	// backlog, exceeding its isolated bound — the client contract
+	// (one outstanding request) matters.
+	p := int64(70_000)
+	first := r.Respond(0, 1, p)
+	second := r.Respond(0, 1, p)
+	if second.Latency <= first.Latency {
+		t.Fatalf("backlog not charged: %v then %v", first.Latency, second.Latency)
+	}
+}

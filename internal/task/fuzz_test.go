@@ -1,0 +1,42 @@
+package task
+
+import (
+	"bytes"
+	"testing"
+
+	"rtoffload/internal/stats"
+)
+
+// FuzzReadJSON feeds the task-set parser arbitrary bytes: it must
+// never panic, and any set it accepts must validate and survive a
+// write/read round trip.
+func FuzzReadJSON(f *testing.F) {
+	set, err := GenerateFigure3(stats.NewRNG(1), DefaultFigure3Params())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"tasks":[]}`))
+	f.Add([]byte(`{"version":1,"tasks":[{"id":1,"period":1000,"deadline":1000,"localWCET":10,"localBenefit":0}]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted set fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, err := ReadJSON(&out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package task
+
+import (
+	"fmt"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/stats"
+)
+
+// Figure3Params parameterizes the random task-set generator of the
+// paper's simulation study (§6.2). The defaults reproduce the paper's
+// configuration exactly.
+type Figure3Params struct {
+	N int // number of tasks (paper: 30)
+
+	// Execution times: Ci,1 and Ci drawn uniformly from (0, ExecMax];
+	// Ci,2 = Ci. Paper: 20 ms.
+	ExecMax rtime.Duration
+
+	// Periods/deadlines: Di = Ti drawn as uniform integer milliseconds
+	// in [PeriodLoMS, PeriodHiMS]. Paper: 600..700 ms.
+	PeriodLoMS, PeriodHiMS int64
+
+	// Benefit points: Q probability levels 1/Q, 2/Q, …, 1.0 with
+	// response times drawn increasing in [RespLo, RespHi).
+	// Paper: Q = 10 (10 %, 20 %, …, 100 %), responses in [100, 200) ms.
+	Q                int
+	RespLo, RespHi   rtime.Duration
+	LocalProbability float64 // Gi(0); the paper's local baseline success probability
+}
+
+// DefaultFigure3Params returns the paper's §6.2 configuration.
+func DefaultFigure3Params() Figure3Params {
+	return Figure3Params{
+		N:          30,
+		ExecMax:    rtime.FromMillis(20),
+		PeriodLoMS: 600,
+		PeriodHiMS: 700,
+		Q:          10,
+		RespLo:     rtime.FromMillis(100),
+		RespHi:     rtime.FromMillis(200),
+		// The paper treats local execution as producing the baseline
+		// (non-high-performance) result: offloading success
+		// probabilities start at 10 %, local contributes 0 toward the
+		// "expected number of higher-performance tasks" objective.
+		LocalProbability: 0,
+	}
+}
+
+// GenerateFigure3 draws a random task set according to the paper's
+// simulation setup. All draws come from rng, so a fixed seed
+// reproduces the same set.
+func GenerateFigure3(rng *stats.RNG, p Figure3Params) (Set, error) {
+	if p.N <= 0 || p.Q <= 0 {
+		return nil, fmt.Errorf("task: invalid Figure3 params N=%d Q=%d", p.N, p.Q)
+	}
+	if p.ExecMax <= 0 || p.RespLo <= 0 || p.RespHi <= p.RespLo {
+		return nil, fmt.Errorf("task: invalid Figure3 ranges")
+	}
+	set := make(Set, 0, p.N)
+	for i := 0; i < p.N; i++ {
+		// "random values from 0 to 20ms": draw strictly positive
+		// microsecond counts so WCETs are valid.
+		c := rtime.Duration(rng.Int64N(int64(p.ExecMax))) + 1
+		c1 := rtime.Duration(rng.Int64N(int64(p.ExecMax))) + 1
+		period := rtime.FromMillis(rng.UniformInt(p.PeriodLoMS, p.PeriodHiMS))
+
+		respUS := rng.SortedUniform(p.Q, float64(p.RespLo), float64(p.RespHi))
+		levels := make([]Level, 0, p.Q)
+		prev := rtime.Duration(0)
+		for j := 0; j < p.Q; j++ {
+			r := rtime.Duration(respUS[j])
+			if r <= prev { // enforce strict increase after integer truncation
+				r = prev + 1
+			}
+			prev = r
+			levels = append(levels, Level{
+				Response: r,
+				Benefit:  float64(j+1) / float64(p.Q),
+				Label:    fmt.Sprintf("p%d", (j+1)*100/p.Q),
+			})
+		}
+		set = append(set, &Task{
+			ID:           i,
+			Name:         fmt.Sprintf("sim%02d", i),
+			Period:       period,
+			Deadline:     period,
+			LocalWCET:    c,
+			Setup:        c1,
+			Compensation: c, // paper: Ci,2 = Ci
+			LocalBenefit: p.LocalProbability,
+			Levels:       levels,
+		})
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("task: generated invalid Figure3 set: %w", err)
+	}
+	return set, nil
+}
+
+// RandomSetParams parameterizes the general-purpose random task-set
+// generator used by the ablation experiments.
+type RandomSetParams struct {
+	N           int
+	TotalUtil   float64 // Σ Ci/Ti target, split via UUniFast
+	PeriodLoMS  int64
+	PeriodHiMS  int64
+	Q           int     // offloading levels per task (0 = local-only tasks)
+	SetupFrac   float64 // Ci,1 = SetupFrac · Ci (clamped ≥ 1 µs)
+	RespLoFrac  float64 // level responses span [RespLoFrac, RespHiFrac]·Di
+	RespHiFrac  float64
+	BenefitBase float64 // local benefit; level benefits grow from it
+}
+
+// DefaultRandomSetParams returns a moderate configuration: 12 tasks at
+// 60 % local utilization with 5 offloading levels each.
+func DefaultRandomSetParams() RandomSetParams {
+	return RandomSetParams{
+		N:           12,
+		TotalUtil:   0.6,
+		PeriodLoMS:  100,
+		PeriodHiMS:  1000,
+		Q:           5,
+		SetupFrac:   0.2,
+		RespLoFrac:  0.1,
+		RespHiFrac:  0.5,
+		BenefitBase: 1,
+	}
+}
+
+// GenerateRandomSet draws a schedulable-by-construction random task
+// set: local utilizations follow UUniFast over TotalUtil.
+func GenerateRandomSet(rng *stats.RNG, p RandomSetParams) (Set, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("task: invalid RandomSet N=%d", p.N)
+	}
+	if p.TotalUtil <= 0 || p.TotalUtil > 1 {
+		return nil, fmt.Errorf("task: total utilization %g out of (0,1]", p.TotalUtil)
+	}
+	if p.RespLoFrac <= 0 || p.RespHiFrac >= 1 || p.RespHiFrac <= p.RespLoFrac {
+		return nil, fmt.Errorf("task: invalid response fraction range [%g,%g]", p.RespLoFrac, p.RespHiFrac)
+	}
+	utils := rng.UUniFast(p.N, p.TotalUtil)
+	set := make(Set, 0, p.N)
+	for i := 0; i < p.N; i++ {
+		period := rtime.FromMillis(rng.UniformInt(p.PeriodLoMS, p.PeriodHiMS))
+		c := rtime.Duration(utils[i] * float64(period))
+		if c <= 0 {
+			c = 1
+		}
+		c1 := rtime.Duration(p.SetupFrac * float64(c))
+		if c1 <= 0 {
+			c1 = 1
+		}
+		t := &Task{
+			ID:           i,
+			Name:         fmt.Sprintf("rnd%02d", i),
+			Period:       period,
+			Deadline:     period,
+			LocalWCET:    c,
+			Setup:        c1,
+			Compensation: c,
+			LocalBenefit: p.BenefitBase,
+		}
+		if p.Q > 0 {
+			lo := p.RespLoFrac * float64(period)
+			hi := p.RespHiFrac * float64(period)
+			respUS := rng.SortedUniform(p.Q, lo, hi)
+			prev := rtime.Duration(0)
+			for j := 0; j < p.Q; j++ {
+				r := rtime.Duration(respUS[j])
+				if r <= prev {
+					r = prev + 1
+				}
+				prev = r
+				t.Levels = append(t.Levels, Level{
+					Response: r,
+					Benefit:  p.BenefitBase * (1 + float64(j+1)*rng.Uniform(0.2, 0.5)),
+				})
+			}
+			// Level benefits must be non-decreasing; the random growth
+			// factors above can produce a dip, so enforce monotonicity.
+			for j := 1; j < len(t.Levels); j++ {
+				if t.Levels[j].Benefit < t.Levels[j-1].Benefit {
+					t.Levels[j].Benefit = t.Levels[j-1].Benefit
+				}
+			}
+		}
+		set = append(set, t)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("task: generated invalid random set: %w", err)
+	}
+	return set, nil
+}

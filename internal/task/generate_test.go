@@ -1,0 +1,188 @@
+package task
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/stats"
+)
+
+func TestGenerateFigure3Defaults(t *testing.T) {
+	set, err := GenerateFigure3(stats.NewRNG(1), DefaultFigure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 30 {
+		t.Fatalf("generated %d tasks, want 30", len(set))
+	}
+	for _, tk := range set {
+		if tk.LocalWCET <= 0 || tk.LocalWCET > rtime.FromMillis(20) {
+			t.Errorf("%s: Ci = %v out of (0, 20ms]", tk.Name, tk.LocalWCET)
+		}
+		if tk.Setup <= 0 || tk.Setup > rtime.FromMillis(20) {
+			t.Errorf("%s: Ci,1 = %v out of (0, 20ms]", tk.Name, tk.Setup)
+		}
+		if tk.Compensation != tk.LocalWCET {
+			t.Errorf("%s: Ci,2 = %v, want Ci = %v", tk.Name, tk.Compensation, tk.LocalWCET)
+		}
+		if tk.Period < rtime.FromMillis(600) || tk.Period > rtime.FromMillis(700) {
+			t.Errorf("%s: period %v out of [600,700]ms", tk.Name, tk.Period)
+		}
+		if tk.Period%rtime.Millisecond != 0 {
+			t.Errorf("%s: period %v not an integer millisecond", tk.Name, tk.Period)
+		}
+		if tk.Deadline != tk.Period {
+			t.Errorf("%s: not implicit deadline", tk.Name)
+		}
+		if len(tk.Levels) != 10 {
+			t.Fatalf("%s: %d levels, want 10", tk.Name, len(tk.Levels))
+		}
+		for j, lv := range tk.Levels {
+			wantP := float64(j+1) / 10
+			if lv.Benefit != wantP {
+				t.Errorf("%s level %d: benefit %g, want %g", tk.Name, j, lv.Benefit, wantP)
+			}
+			if lv.Response < rtime.FromMillis(100) || lv.Response >= rtime.FromMillis(200)+10 {
+				t.Errorf("%s level %d: response %v out of [100,200)ms", tk.Name, j, lv.Response)
+			}
+		}
+	}
+}
+
+func TestGenerateFigure3Deterministic(t *testing.T) {
+	a, _ := GenerateFigure3(stats.NewRNG(77), DefaultFigure3Params())
+	b, _ := GenerateFigure3(stats.NewRNG(77), DefaultFigure3Params())
+	for i := range a {
+		if a[i].LocalWCET != b[i].LocalWCET || a[i].Period != b[i].Period ||
+			a[i].Levels[3].Response != b[i].Levels[3].Response {
+			t.Fatalf("same seed produced different sets at task %d", i)
+		}
+	}
+}
+
+func TestGenerateFigure3BadParams(t *testing.T) {
+	bad := []Figure3Params{
+		{},
+		{N: 5, Q: 10, ExecMax: 0, RespLo: 1, RespHi: 2},
+		{N: 5, Q: 10, ExecMax: 1, RespLo: 5, RespHi: 5},
+	}
+	for i, p := range bad {
+		if _, err := GenerateFigure3(stats.NewRNG(1), p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestGenerateRandomSet(t *testing.T) {
+	p := DefaultRandomSetParams()
+	set, err := GenerateRandomSet(stats.NewRNG(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != p.N {
+		t.Fatalf("got %d tasks", len(set))
+	}
+	// Utilization should approximate the UUniFast target. Integer
+	// truncation of Ci only lowers it.
+	u := set.TotalUtilization()
+	uf, _ := u.Float64()
+	if uf > p.TotalUtil+1e-9 || uf < p.TotalUtil-0.05 {
+		t.Errorf("total utilization %g, want ≈%g", uf, p.TotalUtil)
+	}
+	if u.Cmp(big.NewRat(1, 1)) > 0 {
+		t.Error("generated over-utilized set")
+	}
+}
+
+func TestGenerateRandomSetBadParams(t *testing.T) {
+	for i, mutate := range []func(*RandomSetParams){
+		func(p *RandomSetParams) { p.N = 0 },
+		func(p *RandomSetParams) { p.TotalUtil = 0 },
+		func(p *RandomSetParams) { p.TotalUtil = 1.2 },
+		func(p *RandomSetParams) { p.RespLoFrac, p.RespHiFrac = 0.5, 0.4 },
+		func(p *RandomSetParams) { p.RespHiFrac = 1.2 },
+	} {
+		p := DefaultRandomSetParams()
+		mutate(&p)
+		if _, err := GenerateRandomSet(stats.NewRNG(1), p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+// Property: every generated Figure-3 set validates and has strictly
+// increasing, non-decreasing-benefit levels (Validate re-checks, so
+// just run it across many seeds).
+func TestGenerateFigure3Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		set, err := GenerateFigure3(stats.NewRNG(seed), DefaultFigure3Params())
+		return err == nil && set.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateRandomSetProperty(t *testing.T) {
+	f := func(seed uint64, n uint8, util uint8) bool {
+		p := DefaultRandomSetParams()
+		p.N = int(n%20) + 1
+		p.TotalUtil = float64(util%90)/100 + 0.05
+		set, err := GenerateRandomSet(stats.NewRNG(seed), p)
+		if err != nil {
+			return false
+		}
+		u, _ := set.TotalUtilization().Float64()
+		return set.Validate() == nil && u <= p.TotalUtil+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	set, err := GenerateFigure3(stats.NewRNG(5), DefaultFigure3Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(set) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(got), len(set))
+	}
+	for i := range set {
+		a, b := set[i], got[i]
+		if a.ID != b.ID || a.Period != b.Period || a.LocalWCET != b.LocalWCET ||
+			a.Setup != b.Setup || len(a.Levels) != len(b.Levels) {
+			t.Fatalf("task %d differs after round trip", i)
+		}
+		for j := range a.Levels {
+			if a.Levels[j] != b.Levels[j] {
+				t.Fatalf("task %d level %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version": 2, "tasks": []}`,
+		`{"version": 1, "tasks": [{"id": 1, "period": 0, "deadline": 1, "localWCET": 1, "localBenefit": 0}]}`,
+		`{"version": 1, "bogus": true, "tasks": []}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d: accepted %q", i, c)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON schema for task sets: a small wrapper
+// so the format can be versioned.
+type fileFormat struct {
+	Version int     `json:"version"`
+	Tasks   []*Task `json:"tasks"`
+}
+
+// currentVersion is the schema version written by WriteJSON.
+const currentVersion = 1
+
+// WriteJSON encodes the set to w as indented JSON.
+func (s Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fileFormat{Version: currentVersion, Tasks: s})
+}
+
+// ReadJSON decodes a task set from r and validates it.
+func ReadJSON(r io.Reader) (Set, error) {
+	var f fileFormat
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("task: decoding set: %w", err)
+	}
+	if f.Version != currentVersion {
+		return nil, fmt.Errorf("task: unsupported task-set version %d", f.Version)
+	}
+	s := Set(f.Tasks)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

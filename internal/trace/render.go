@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rtoffload/internal/rtime"
+)
+
+// glyphs for the Gantt rows, one per sub-job kind.
+var kindGlyph = map[Kind]byte{
+	Local: 'L',
+	Setup: 'S',
+	Post:  'P',
+	Comp:  'C',
+}
+
+// RenderGantt writes an ASCII Gantt chart of the trace: one row per
+// task, time flowing left to right across `width` columns spanning
+// [from, to). Cell glyphs: L local, S setup, P post-processing,
+// C compensation, '.' idle for that task while the processor runs
+// something else, ' ' before first release. Release instants are
+// marked with '|' overlaid on idle cells and deadline misses with '!'
+// at the completing cell.
+//
+// The chart is a debugging aid: each cell shows the sub-job kind that
+// occupied the *majority* of its time slice for that task.
+func RenderGantt(w io.Writer, tr *Trace, from, to rtime.Instant, width int) error {
+	if width < 10 {
+		return fmt.Errorf("trace: gantt width %d too small", width)
+	}
+	if to <= from {
+		return fmt.Errorf("trace: empty gantt window [%v, %v)", from, to)
+	}
+	span := to.Sub(from)
+	cell := span / rtime.Duration(width)
+	if cell <= 0 {
+		cell = 1
+	}
+
+	// Collect task IDs.
+	idset := map[int]bool{}
+	for _, s := range tr.Subs {
+		idset[s.Sub.TaskID] = true
+	}
+	ids := make([]int, 0, len(idset))
+	for id := range idset {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	// Header with a few time ticks.
+	fmt.Fprintf(w, "gantt [%v … %v), %v per column\n", from, to, cell)
+	for _, id := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		// Executions: majority kind per cell.
+		occupancy := make([]rtime.Duration, width)
+		for _, s := range tr.Segments {
+			if s.Sub.TaskID != id {
+				continue
+			}
+			for c := 0; c < width; c++ {
+				cs := from.Add(rtime.Duration(c) * cell)
+				ce := cs.Add(cell)
+				ov := rtime.MinInstant(s.End, ce).Sub(rtime.MaxInstant(s.Start, cs))
+				if ov > 0 && ov > occupancy[c] {
+					occupancy[c] = ov
+					row[c] = kindGlyph[s.Sub.Kind]
+				}
+			}
+		}
+		// Idle dots between first release and completion of last sub.
+		first, last := rtime.Forever, rtime.Instant(0)
+		for _, s := range tr.Subs {
+			if s.Sub.TaskID != id {
+				continue
+			}
+			if s.Release < first {
+				first = s.Release
+			}
+			end := s.Deadline
+			if s.Completed && s.Completion > end {
+				end = s.Completion
+			}
+			if end > last {
+				last = end
+			}
+		}
+		for c := 0; c < width; c++ {
+			cs := from.Add(rtime.Duration(c) * cell)
+			if row[c] == ' ' && cs >= first && cs < last {
+				row[c] = '.'
+			}
+		}
+		// Release markers and deadline misses.
+		for _, s := range tr.Subs {
+			if s.Sub.TaskID != id {
+				continue
+			}
+			if (s.Sub.Kind == Local || s.Sub.Kind == Setup) && s.Release >= from && s.Release < to {
+				c := int(s.Release.Sub(from) / cell)
+				if c >= 0 && c < width && (row[c] == '.' || row[c] == ' ') {
+					row[c] = '|'
+				}
+			}
+			missed := !s.Completed || s.Completion > s.Deadline
+			if missed && s.Deadline >= from && s.Deadline < to {
+				c := int(s.Deadline.Sub(from) / cell)
+				if c >= 0 && c < width {
+					row[c] = '!'
+				}
+			}
+		}
+		fmt.Fprintf(w, "τ%-3d %s\n", id, string(row))
+	}
+	fmt.Fprintln(w, strings.Repeat(" ", 5)+legend())
+	return nil
+}
+
+func legend() string {
+	return "L=local S=setup P=post C=compensation |=release !=deadline miss .=waiting"
+}

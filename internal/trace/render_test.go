@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderGantt(t *testing.T) {
+	tr := validTrace()
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, tr, 0, ms(10), 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + two task rows + legend.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "τ1") || !strings.Contains(lines[1], "L") {
+		t.Errorf("τ1 row %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "τ2") {
+		t.Errorf("τ2 row %q", lines[2])
+	}
+	// τ1 runs [0,4) of a 10ms window over 40 cols → ~16 L cells.
+	count := strings.Count(lines[1], "L")
+	if count < 12 || count > 20 {
+		t.Errorf("τ1 has %d L cells, want ≈16: %q", count, lines[1])
+	}
+	if !strings.Contains(out, "legend") && !strings.Contains(out, "L=local") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderGanttMarksMiss(t *testing.T) {
+	tr := validTrace()
+	// τ2 misses: completion after deadline.
+	tr.Subs[1].Deadline = ms(6)
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, tr, 0, ms(10), 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "!") {
+		t.Fatalf("deadline miss not marked:\n%s", buf.String())
+	}
+}
+
+func TestRenderGanttSuspension(t *testing.T) {
+	// The offloaded schedule from the EDF-order test: setup, idle-wait,
+	// compensation.
+	setup := SubID{TaskID: 1, Kind: Setup}
+	comp := SubID{TaskID: 1, Kind: Comp}
+	tr := &Trace{
+		Segments: []Segment{
+			{Start: ms(0), End: ms(2), Sub: setup},
+			{Start: ms(8), End: ms(11), Sub: comp},
+		},
+		Subs: []SubRecord{
+			{Sub: setup, Release: ms(0), Deadline: ms(4), WCET: msd(2), Completed: true, Completion: ms(2)},
+			{Sub: comp, Release: ms(8), Deadline: ms(20), WCET: msd(3), Completed: true, Completion: ms(11)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, tr, 0, ms(12), 48); err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(buf.String(), "\n")[1]
+	if !strings.Contains(row, "S") || !strings.Contains(row, "C") || !strings.Contains(row, ".") {
+		t.Fatalf("suspension row %q", row)
+	}
+	// Order: S before . before C.
+	if strings.Index(row, "S") > strings.Index(row, "C") {
+		t.Fatalf("setup after compensation: %q", row)
+	}
+}
+
+func TestRenderGanttErrors(t *testing.T) {
+	tr := validTrace()
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, tr, 0, ms(10), 5); err == nil {
+		t.Error("tiny width accepted")
+	}
+	if err := RenderGantt(&buf, tr, ms(10), ms(10), 40); err == nil {
+		t.Error("empty window accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rtoffload/internal/rtime"
+)
+
+func ms(v int64) rtime.Instant   { return rtime.Instant(rtime.FromMillis(v)) }
+func msd(v int64) rtime.Duration { return rtime.FromMillis(v) }
+
+// validTrace builds a correct 2-task EDF schedule:
+//
+//	τ1 local: release 0, deadline 10, WCET 4  → runs [0,4)
+//	τ2 local: release 2, deadline 20, WCET 3  → runs [4,7)
+func validTrace() *Trace {
+	s1 := SubID{TaskID: 1, Seq: 0, Kind: Local}
+	s2 := SubID{TaskID: 2, Seq: 0, Kind: Local}
+	return &Trace{
+		Segments: []Segment{
+			{Start: ms(0), End: ms(4), Sub: s1},
+			{Start: ms(4), End: ms(7), Sub: s2},
+		},
+		Subs: []SubRecord{
+			{Sub: s1, Release: ms(0), Deadline: ms(10), WCET: msd(4), Completed: true, Completion: ms(4)},
+			{Sub: s2, Release: ms(2), Deadline: ms(20), WCET: msd(3), Completed: true, Completion: ms(7)},
+		},
+	}
+}
+
+func TestValidTrace(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestKindSubIDStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Local: "local", Setup: "setup", Post: "post", Comp: "comp"} {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q", int(k), k.String())
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	id := SubID{TaskID: 3, Seq: 7, Kind: Setup}
+	if got := id.String(); !strings.Contains(got, "τ3") || !strings.Contains(got, "setup") {
+		t.Errorf("SubID string %q", got)
+	}
+}
+
+func TestCheckWellFormed(t *testing.T) {
+	tr := validTrace()
+	tr.Segments[0].End = tr.Segments[0].Start // empty segment
+	if err := tr.CheckWellFormed(); err == nil {
+		t.Error("empty segment accepted")
+	}
+
+	tr = validTrace()
+	tr.Segments[0].Sub.TaskID = 99
+	if err := tr.CheckWellFormed(); err == nil {
+		t.Error("unknown sub-job accepted")
+	}
+
+	tr = validTrace()
+	tr.Subs[0].Release = ms(1) // executes at 0 before release
+	if err := tr.CheckWellFormed(); err == nil {
+		t.Error("pre-release execution accepted")
+	}
+
+	tr = validTrace()
+	tr.Subs[0].Completion = ms(3) // executes past completion
+	if err := tr.CheckWellFormed(); err == nil {
+		t.Error("post-completion execution accepted")
+	}
+}
+
+func TestCheckNoOverlap(t *testing.T) {
+	tr := validTrace()
+	tr.Segments[1].Start = ms(3)
+	tr.Subs[1].Release = ms(2)
+	if err := tr.CheckNoOverlap(); err == nil {
+		t.Error("overlap accepted")
+	}
+}
+
+func TestCheckBudgets(t *testing.T) {
+	tr := validTrace()
+	tr.Subs[0].WCET = msd(5) // executed 4, claims completion
+	if err := tr.CheckBudgets(); err == nil {
+		t.Error("under-execution accepted")
+	}
+	tr = validTrace()
+	tr.Subs[1].Completed = false // executed full WCET but "unfinished"
+	if err := tr.CheckBudgets(); err == nil {
+		t.Error("finished-but-unmarked accepted")
+	}
+}
+
+func TestCheckEDFOrder(t *testing.T) {
+	// τ2 (deadline 20) runs [0,3) while τ1 (deadline 10) is ready: violation.
+	s1 := SubID{TaskID: 1, Kind: Local}
+	s2 := SubID{TaskID: 2, Kind: Local}
+	tr := &Trace{
+		Segments: []Segment{
+			{Start: ms(0), End: ms(3), Sub: s2},
+			{Start: ms(3), End: ms(7), Sub: s1},
+		},
+		Subs: []SubRecord{
+			{Sub: s1, Release: ms(0), Deadline: ms(10), WCET: msd(4), Completed: true, Completion: ms(7)},
+			{Sub: s2, Release: ms(0), Deadline: ms(20), WCET: msd(3), Completed: true, Completion: ms(3)},
+		},
+	}
+	err := tr.CheckEDFOrder()
+	if err == nil {
+		t.Fatal("EDF violation accepted")
+	}
+	if !strings.Contains(err.Error(), "EDF violation") {
+		t.Errorf("unexpected error %v", err)
+	}
+	// The valid trace passes: τ2 released at 2 but τ1 (earlier deadline)
+	// runs first.
+	if err := validTrace().CheckEDFOrder(); err != nil {
+		t.Fatalf("valid EDF order rejected: %v", err)
+	}
+}
+
+func TestCheckEDFOrderSuspension(t *testing.T) {
+	// An offloaded task's compensation sub-job releases late (after the
+	// suspension); a lower-priority job running before that release is
+	// NOT a violation.
+	setup := SubID{TaskID: 1, Kind: Setup}
+	comp := SubID{TaskID: 1, Kind: Comp}
+	other := SubID{TaskID: 2, Kind: Local}
+	tr := &Trace{
+		Segments: []Segment{
+			{Start: ms(0), End: ms(2), Sub: setup},
+			{Start: ms(2), End: ms(8), Sub: other}, // runs during τ1's suspension
+			{Start: ms(8), End: ms(11), Sub: comp}, // compensation after timer
+		},
+		Subs: []SubRecord{
+			{Sub: setup, Release: ms(0), Deadline: ms(4), WCET: msd(2), Completed: true, Completion: ms(2)},
+			{Sub: comp, Release: ms(8), Deadline: ms(20), WCET: msd(3), Completed: true, Completion: ms(11)},
+			{Sub: other, Release: ms(0), Deadline: ms(30), WCET: msd(6), Completed: true, Completion: ms(8)},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("suspension schedule rejected: %v", err)
+	}
+}
+
+func TestCheckWorkConserving(t *testing.T) {
+	tr := validTrace()
+	// Introduce an idle gap [4,5) while τ2 is ready.
+	tr.Segments[1].Start = ms(5)
+	tr.Segments[1].End = ms(8)
+	tr.Subs[1].Completion = ms(8)
+	if err := tr.CheckWorkConserving(); err == nil {
+		t.Error("idle-while-ready accepted")
+	}
+	// Leading idle gap: first release at 0 but execution starts at 1.
+	tr = validTrace()
+	tr.Segments[0].Start = ms(1)
+	tr.Subs[0].WCET = msd(3)
+	if err := tr.CheckWorkConserving(); err == nil {
+		t.Error("leading idle gap accepted")
+	}
+}
+
+func TestDeadlineMisses(t *testing.T) {
+	tr := validTrace()
+	if m := tr.DeadlineMisses(); len(m) != 0 {
+		t.Fatalf("misses = %v", m)
+	}
+	tr.Subs[0].Completion = ms(11)
+	tr.Subs[1].Completed = false
+	m := tr.DeadlineMisses()
+	if len(m) != 2 {
+		t.Fatalf("misses = %v, want 2", m)
+	}
+}
+
+func TestTotalBusy(t *testing.T) {
+	if b := validTrace().TotalBusy(); b != msd(7) {
+		t.Errorf("TotalBusy = %v", b)
+	}
+}
+
+func TestValidateOrderOfChecks(t *testing.T) {
+	// Validate must catch a malformed trace before the EDF check
+	// dereferences unknown sub-jobs.
+	tr := &Trace{
+		Segments: []Segment{{Start: ms(0), End: ms(1), Sub: SubID{TaskID: 1}}},
+	}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("trace with no sub records accepted")
+	}
+}

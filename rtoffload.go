@@ -1,0 +1,32 @@
+// Package rtoffload reproduces "Computation Offloading by Using Timing
+// Unreliable Components in Real-Time Systems" (Liu, Chen, Toma, Kuo,
+// Deng — DAC 2014): a mechanism that lets hard real-time systems
+// exploit timing unreliable accelerators (GPU servers, COTS components
+// over unreliable networks) by pairing every offloaded job with a
+// guaranteed local compensation.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the paper's contribution: the Benefit and
+//     Response Time Estimator, the Offloading Decision Manager
+//     (multiple-choice knapsack over the Theorem-3 weights), and the
+//     online admission manager.
+//   - internal/sched — the EDF scheduler with proportional deadline
+//     splitting and timer-driven compensation (plus the naive-EDF
+//     baseline).
+//   - internal/dbf — demand-bound-function analysis: Theorems 1–3 in
+//     exact rational arithmetic, the processor demand criterion and
+//     QPA.
+//   - internal/mckp — the DP and HEU-OE knapsack solvers.
+//   - internal/server, internal/imgproc, internal/benefit,
+//     internal/task, internal/trace, internal/stats, internal/rtime —
+//     the substrates: unreliable-server models, vision workloads,
+//     benefit functions, the sporadic task model, trace validation,
+//     deterministic statistics and exact time arithmetic.
+//   - internal/exp — the harness regenerating Table 1, Figure 2 and
+//     Figure 3 plus the ablations.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
+// record and cmd/ for the command-line tools.
+package rtoffload
