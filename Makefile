@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled suite: the parallel experiment engine must be clean
+# under the race detector, not just deterministic in output.
+race:
+	$(GO) test -race ./...
+
+# The pre-merge gate.
+verify: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+fmt:
+	gofmt -l -w .

@@ -96,7 +96,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 	var rows []exp.SolverAblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.SolverAblation(1, 10)
+		rows, err = exp.SolverAblation(1, 10, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func BenchmarkAblationNaiveEDF(b *testing.B) {
 	var rows []exp.NaiveEDFAblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.NaiveEDFAblation(7, []float64{0.6, 0.8, 0.95}, 20)
+		rows, err = exp.NaiveEDFAblation(7, []float64{0.6, 0.8, 0.95}, 20, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func BenchmarkAblationDBF(b *testing.B) {
 	var rows []exp.DBFAblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.DBFAblation(11, []float64{0.8, 1.1}, 30)
+		rows, err = exp.DBFAblation(11, []float64{0.8, 1.1}, 30, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -387,7 +387,7 @@ func BenchmarkAblationFP(b *testing.B) {
 	var rows []exp.FPAblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = exp.FPAblation(13, []float64{0.4, 0.6, 0.8}, 40)
+		rows, err = exp.FPAblation(13, []float64{0.4, 0.6, 0.8}, 40, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

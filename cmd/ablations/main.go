@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	ablations [-seed N] [-per N]
+//	ablations [-seed N] [-parallel N] [-per N]
+//
+// Generated systems fan out on -parallel workers; every table is
+// bit-identical for every worker count, so -parallel only changes the
+// wall clock, which is reported on stderr at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rtoffload/internal/exp"
 )
@@ -20,6 +25,7 @@ import (
 func main() {
 	var (
 		seed = flag.Uint64("seed", 7, "deterministic seed")
+		par  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		per  = flag.Int("per", 40, "systems per load level")
 	)
 	flag.Parse()
@@ -28,9 +34,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ablations:", err)
 		os.Exit(1)
 	}
+	start := time.Now()
 
 	fmt.Println("A — deadline splitting vs naive EDF (adversarial server, miss rate per load)")
-	edfRows, err := exp.NaiveEDFAblation(*seed, []float64{0.5, 0.7, 0.85, 0.95}, *per)
+	edfRows, err := exp.NaiveEDFAblation(*seed, []float64{0.5, 0.7, 0.85, 0.95}, *per, *par)
 	if err != nil {
 		fail(err)
 	}
@@ -48,7 +55,7 @@ func main() {
 	}
 
 	fmt.Println("\nB — MCKP solver quality (relative to DP, paper's 30-task sets)")
-	solRows, err := exp.SolverAblation(*seed, *per)
+	solRows, err := exp.SolverAblation(*seed, *per, *par)
 	if err != nil {
 		fail(err)
 	}
@@ -65,7 +72,7 @@ func main() {
 	}
 
 	fmt.Println("\nC — Theorem 3 vs exact demand analysis (acceptance per load)")
-	dbfRows, err := exp.DBFAblation(*seed, []float64{0.6, 0.8, 1.0, 1.2}, *per)
+	dbfRows, err := exp.DBFAblation(*seed, []float64{0.6, 0.8, 1.0, 1.2}, *per, *par)
 	if err != nil {
 		fail(err)
 	}
@@ -86,7 +93,7 @@ func main() {
 	}
 
 	fmt.Println("\nD — fixed priorities vs the paper's EDF (acceptance per load)")
-	fpRows, err := exp.FPAblation(*seed, []float64{0.4, 0.6, 0.8}, *per)
+	fpRows, err := exp.FPAblation(*seed, []float64{0.4, 0.6, 0.8}, *per, *par)
 	if err != nil {
 		fail(err)
 	}
@@ -107,7 +114,9 @@ func main() {
 	}
 
 	fmt.Println("\nEnergy — client energy vs all-local execution (case study)")
-	eRows, err := exp.EnergyStudy(exp.DefaultCaseStudyConfig(), exp.DefaultPowerModel())
+	eCfg := exp.DefaultCaseStudyConfig()
+	eCfg.Parallel = *par
+	eRows, err := exp.EnergyStudy(eCfg, exp.DefaultPowerModel())
 	if err != nil {
 		fail(err)
 	}
@@ -125,4 +134,6 @@ func main() {
 		[]string{"Scenario", "Offload", "All-local", "Savings", "Hits"}, rows); err != nil {
 		fail(err)
 	}
+	fmt.Fprintf(os.Stderr, "ablations: wall-clock %.2fs (parallel=%d)\n",
+		time.Since(start).Seconds(), *par)
 }

@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	accuracysim [-seed N] [-trials N] [-simulate] [-csv]
+//	accuracysim [-seed N] [-parallel N] [-trials N] [-simulate] [-csv]
+//
+// Trials fan out on -parallel workers; the sweep is bit-identical for
+// every worker count, so -parallel only changes the wall clock, which
+// is reported on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rtoffload/internal/core"
 	"rtoffload/internal/exp"
@@ -20,6 +25,7 @@ import (
 func main() {
 	var (
 		seed     = flag.Uint64("seed", 1, "deterministic experiment seed")
+		par      = flag.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		trials   = flag.Int("trials", 20, "random 30-task sets averaged per ratio")
 		simulate = flag.Bool("simulate", false, "additionally validate each decision in the EDF simulator")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -30,6 +36,7 @@ func main() {
 
 	cfg := exp.DefaultFigure3Config()
 	cfg.Seed = *seed
+	cfg.Parallel = *par
 	cfg.Trials = *trials
 	cfg.Simulate = *simulate
 	switch *interp {
@@ -42,11 +49,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	start := time.Now()
 	res, err := exp.Figure3(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "accuracysim:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "accuracysim: sweep wall-clock %.2fs (parallel=%d)\n",
+		time.Since(start).Seconds(), *par)
 	fmt.Printf("Figure 3: normalized total benefit vs estimation accuracy ratio (%d trials, normalized to DP at x=0)\n", cfg.Trials)
 	if *csv {
 		var rows [][]string

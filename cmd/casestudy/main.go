@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	casestudy [-seed N] [-horizon SECONDS] [-solver dp|heu] [-csv] [-table1] [-figure2]
+//	casestudy [-seed N] [-parallel N] [-horizon SECONDS] [-solver dp|heu] [-csv] [-table1] [-figure2]
 //
-// With neither -table1 nor -figure2, both are produced.
+// With neither -table1 nor -figure2, both are produced. The sweeps
+// fan out on -parallel workers; the output is bit-identical for every
+// worker count (per-run seeds are derived, not drawn in sequence), so
+// -parallel only changes the wall clock, which is reported on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rtoffload/internal/core"
 	"rtoffload/internal/exp"
@@ -23,6 +27,7 @@ import (
 func main() {
 	var (
 		seed    = flag.Uint64("seed", 1, "deterministic experiment seed")
+		par     = flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		horizon = flag.Float64("horizon", 10, "measurement window in seconds (paper: 10)")
 		solver  = flag.String("solver", "dp", "decision solver: dp | heu")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -36,6 +41,7 @@ func main() {
 
 	cfg := exp.DefaultCaseStudyConfig()
 	cfg.Seed = *seed
+	cfg.Parallel = *par
 	cfg.HorizonSeconds = *horizon
 	switch *solver {
 	case "dp":
@@ -84,10 +90,13 @@ func main() {
 		fmt.Println()
 	}
 	if doFigure {
+		start := time.Now()
 		res, err := exp.Figure2(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Fprintf(os.Stderr, "casestudy: figure-2 sweep wall-clock %.2fs (parallel=%d)\n",
+			time.Since(start).Seconds(), *par)
 		fmt.Printf("Figure 2: normalized total weighted image quality, %gs horizon (normalized to the all-local baseline)\n", cfg.HorizonSeconds)
 		if err := exp.RenderFigure2(os.Stdout, res); err != nil {
 			fatal(err)
@@ -112,11 +121,14 @@ func main() {
 		}
 		fmt.Printf("deadline misses across all runs: %d\n", misses)
 		if *multi > 0 {
+			start := time.Now()
 			rows, err := exp.Figure2Multi(cfg, *multi)
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("\nscenario means over %d seeds (95%% CI):\n", *multi)
+			fmt.Fprintf(os.Stderr, "casestudy: multiseed wall-clock %.2fs (parallel=%d)\n",
+				time.Since(start).Seconds(), *par)
+			fmt.Printf("\nscenario means over %d seeds (Student-t 95%% CI):\n", *multi)
 			for _, r := range rows {
 				fmt.Printf("  %-9s %.3f ± %.3f\n", r.Scenario, r.Mean, r.CI95)
 			}

@@ -5,6 +5,7 @@ import (
 
 	"rtoffload/internal/core"
 	"rtoffload/internal/dbf"
+	"rtoffload/internal/parallel"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
 	"rtoffload/internal/server"
@@ -24,20 +25,16 @@ type SolverAblationRow struct {
 }
 
 // SolverAblation runs DP, HEU-OE and greedy over `trials` random
-// Figure-3 task sets and reports their quality relative to DP.
-func SolverAblation(seed uint64, trials int) ([]SolverAblationRow, error) {
+// Figure-3 task sets (fanned out on `workers` goroutines;
+// 0 = GOMAXPROCS) and reports their quality relative to DP.
+func SolverAblation(seed uint64, trials, workers int) ([]SolverAblationRow, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("exp: trials must be positive")
 	}
 	solvers := []core.Solver{core.SolverDP, core.SolverHEU, core.SolverGreedy}
-	sum := map[core.Solver]float64{}
-	worst := map[core.Solver]float64{}
-	for _, s := range solvers {
-		worst[s] = 1
-	}
-	rng := stats.NewRNG(seed)
-	for trial := 0; trial < trials; trial++ {
-		set, err := task.GenerateFigure3(rng.Fork(), task.DefaultFigure3Params())
+	qualities, err := parallel.Map(workers, trials, func(trial int) (map[core.Solver]float64, error) {
+		rng := stats.NewRNG(stats.DeriveSeed(seed, streamSolverAblation, uint64(trial)))
+		set, err := task.GenerateFigure3(rng, task.DefaultFigure3Params())
 		if err != nil {
 			return nil, err
 		}
@@ -48,20 +45,29 @@ func SolverAblation(seed uint64, trials int) ([]SolverAblationRow, error) {
 		if dp.TotalExpected <= 0 {
 			return nil, fmt.Errorf("exp: degenerate DP answer in trial %d", trial)
 		}
-		for _, s := range solvers {
-			var q float64
-			if s == core.SolverDP {
-				q = 1
-			} else {
-				d, err := core.Decide(set, core.Options{Solver: s})
-				if err != nil {
-					return nil, err
-				}
-				q = d.TotalExpected / dp.TotalExpected
+		q := map[core.Solver]float64{core.SolverDP: 1}
+		for _, s := range solvers[1:] {
+			d, err := core.Decide(set, core.Options{Solver: s})
+			if err != nil {
+				return nil, err
 			}
-			sum[s] += q
-			if q < worst[s] {
-				worst[s] = q
+			q[s] = d.TotalExpected / dp.TotalExpected
+		}
+		return q, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := map[core.Solver]float64{}
+	worst := map[core.Solver]float64{}
+	for _, s := range solvers {
+		worst[s] = 1
+	}
+	for _, q := range qualities {
+		for _, s := range solvers {
+			sum[s] += q[s]
+			if q[s] < worst[s] {
+				worst[s] = q[s]
 			}
 		}
 	}
@@ -91,36 +97,52 @@ type NaiveEDFAblationRow struct {
 // NaiveEDFAblation generates offload-heavy systems across a sweep of
 // Theorem-3 load levels and simulates both deadline-assignment
 // policies against a server that never returns results (every job
-// compensates — the worst case for the second sub-job).
-func NaiveEDFAblation(seed uint64, loads []float64, perLoad int) ([]NaiveEDFAblationRow, error) {
+// compensates — the worst case for the second sub-job). Systems fan
+// out on `workers` goroutines (0 = GOMAXPROCS).
+func NaiveEDFAblation(seed uint64, loads []float64, perLoad, workers int) ([]NaiveEDFAblationRow, error) {
 	if len(loads) == 0 || perLoad <= 0 {
 		return nil, fmt.Errorf("exp: loads and perLoad must be non-empty")
 	}
-	rng := stats.NewRNG(seed)
-	rows := make([]NaiveEDFAblationRow, 0, len(loads))
 	for _, load := range loads {
 		if load <= 0 || load > 1 {
 			return nil, fmt.Errorf("exp: load %g out of (0,1]", load)
 		}
+	}
+	type sysResult struct {
+		ok, splitMiss, naiveMiss bool
+	}
+	results, err := parallel.Map(workers, len(loads)*perLoad, func(i int) (sysResult, error) {
+		li, sysi := i/perLoad, i%perLoad
+		rng := stats.NewRNG(stats.DeriveSeed(seed, streamNaiveEDF, uint64(li), uint64(sysi)))
+		asgs, ok := genOffloadSystem(rng, loads[li])
+		if !ok {
+			return sysResult{}, nil
+		}
+		splitMiss, err := missUnderPolicy(asgs, sched.SplitEDF)
+		if err != nil {
+			return sysResult{}, err
+		}
+		naiveMiss, err := missUnderPolicy(asgs, sched.NaiveEDF)
+		if err != nil {
+			return sysResult{}, err
+		}
+		return sysResult{ok: true, splitMiss: splitMiss, naiveMiss: naiveMiss}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]NaiveEDFAblationRow, 0, len(loads))
+	for li, load := range loads {
 		row := NaiveEDFAblationRow{TargetLoad: load}
-		for sysi := 0; sysi < perLoad; sysi++ {
-			asgs, ok := genOffloadSystem(rng, load)
-			if !ok {
+		for _, r := range results[li*perLoad : (li+1)*perLoad] {
+			if !r.ok {
 				continue
 			}
 			row.Systems++
-			splitMiss, err := missUnderPolicy(asgs, sched.SplitEDF)
-			if err != nil {
-				return nil, err
-			}
-			naiveMiss, err := missUnderPolicy(asgs, sched.NaiveEDF)
-			if err != nil {
-				return nil, err
-			}
-			if splitMiss {
+			if r.splitMiss {
 				row.SplitMissRate++
 			}
-			if naiveMiss {
+			if r.naiveMiss {
 				row.NaiveMissRate++
 			}
 		}
@@ -228,49 +250,64 @@ type DBFAblationRow struct {
 // systems whose *Theorem-3* total is near the level (some above 1) and
 // counts how many each test admits. The exact test dominates: it
 // accepts everything Theorem 3 accepts plus systems whose linear bound
-// is pessimistic (large Ri).
-func DBFAblation(seed uint64, loads []float64, perLoad int) ([]DBFAblationRow, error) {
+// is pessimistic (large Ri). Systems fan out on `workers` goroutines
+// (0 = GOMAXPROCS).
+func DBFAblation(seed uint64, loads []float64, perLoad, workers int) ([]DBFAblationRow, error) {
 	if len(loads) == 0 || perLoad <= 0 {
 		return nil, fmt.Errorf("exp: loads and perLoad must be non-empty")
 	}
-	rng := stats.NewRNG(seed)
-	rows := make([]DBFAblationRow, 0, len(loads))
-	for _, load := range loads {
-		row := DBFAblationRow{TargetLoad: load}
-		for sysi := 0; sysi < perLoad; sysi++ {
-			n := rng.IntN(5) + 2
-			shares := rng.UUniFast(n, load)
-			var off []dbf.Offloaded
-			var ds []dbf.Demand
-			ok := true
-			for i := 0; i < n && ok; i++ {
-				period := rtime.FromMillis(rng.UniformInt(50, 400))
-				r := rtime.Duration(rng.Int64N(int64(period * 3 / 4)))
-				budgetTotal := rtime.Duration(shares[i] * float64(period-r))
-				if budgetTotal < 2 || budgetTotal > period {
-					ok = false
-					break
-				}
-				c1 := budgetTotal / 4
-				if c1 < 1 {
-					c1 = 1
-				}
-				o, err := dbf.NewOffloaded(c1, budgetTotal-c1, period, period, r)
-				if err != nil {
-					ok = false
-					break
-				}
-				off = append(off, o)
-				ds = append(ds, o)
+	type sysResult struct {
+		ok, thm3, exact bool
+	}
+	results, err := parallel.Map(workers, len(loads)*perLoad, func(i int) (sysResult, error) {
+		li, sysi := i/perLoad, i%perLoad
+		rng := stats.NewRNG(stats.DeriveSeed(seed, streamDBFAblation, uint64(li), uint64(sysi)))
+		n := rng.IntN(5) + 2
+		shares := rng.UUniFast(n, loads[li])
+		var off []dbf.Offloaded
+		var ds []dbf.Demand
+		for i := 0; i < n; i++ {
+			period := rtime.FromMillis(rng.UniformInt(50, 400))
+			r := rtime.Duration(rng.Int64N(int64(period * 3 / 4)))
+			budgetTotal := rtime.Duration(shares[i] * float64(period-r))
+			if budgetTotal < 2 || budgetTotal > period {
+				return sysResult{}, nil
 			}
-			if !ok {
+			c1 := budgetTotal / 4
+			if c1 < 1 {
+				c1 = 1
+			}
+			o, err := dbf.NewOffloaded(c1, budgetTotal-c1, period, period, r)
+			if err != nil {
+				return sysResult{}, nil
+			}
+			off = append(off, o)
+			ds = append(ds, o)
+		}
+		res := sysResult{ok: true}
+		if _, pass := dbf.Theorem3(off, nil); pass {
+			res.thm3 = true
+		}
+		if err := dbf.QPA(ds); err == nil {
+			res.exact = true
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DBFAblationRow, 0, len(loads))
+	for li, load := range loads {
+		row := DBFAblationRow{TargetLoad: load}
+		for _, r := range results[li*perLoad : (li+1)*perLoad] {
+			if !r.ok {
 				continue
 			}
 			row.Systems++
-			if _, pass := dbf.Theorem3(off, nil); pass {
+			if r.thm3 {
 				row.Theorem3Accepted++
 			}
-			if err := dbf.QPA(ds); err == nil {
+			if r.exact {
 				row.ExactAccepted++
 			}
 		}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestSolverAblation(t *testing.T) {
-	rows, err := SolverAblation(5, 8)
+	rows, err := SolverAblation(5, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestSolverAblation(t *testing.T) {
 	if byName[core.SolverGreedy].MeanQuality > byName[core.SolverHEU].MeanQuality+0.05 {
 		t.Errorf("greedy (%g) clearly beats HEU (%g)?", byName[core.SolverGreedy].MeanQuality, byName[core.SolverHEU].MeanQuality)
 	}
-	if _, err := SolverAblation(1, 0); err == nil {
+	if _, err := SolverAblation(1, 0, 1); err == nil {
 		t.Error("zero trials accepted")
 	}
 }
@@ -44,7 +44,7 @@ func TestSolverAblation(t *testing.T) {
 // feasible system miss-free; naive EDF starts missing deadlines as the
 // load grows.
 func TestNaiveEDFAblation(t *testing.T) {
-	rows, err := NaiveEDFAblation(7, []float64{0.5, 0.8, 0.95}, 20)
+	rows, err := NaiveEDFAblation(7, []float64{0.5, 0.8, 0.95}, 20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,10 +71,10 @@ func TestNaiveEDFAblation(t *testing.T) {
 	if !sawNaiveMiss {
 		t.Error("naive EDF never missed — ablation shows nothing")
 	}
-	if _, err := NaiveEDFAblation(1, nil, 5); err == nil {
+	if _, err := NaiveEDFAblation(1, nil, 5, 1); err == nil {
 		t.Error("empty loads accepted")
 	}
-	if _, err := NaiveEDFAblation(1, []float64{1.5}, 5); err == nil {
+	if _, err := NaiveEDFAblation(1, []float64{1.5}, 5, 1); err == nil {
 		t.Error("load > 1 accepted")
 	}
 }
@@ -83,7 +83,7 @@ func TestNaiveEDFAblation(t *testing.T) {
 // least as many systems at every load and strictly more beyond
 // capacity 1.
 func TestDBFAblation(t *testing.T) {
-	rows, err := DBFAblation(11, []float64{0.6, 0.9, 1.1, 1.3}, 25)
+	rows, err := DBFAblation(11, []float64{0.6, 0.9, 1.1, 1.3}, 25, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestDBFAblation(t *testing.T) {
 	if !strictly {
 		t.Error("exact test never strictly better — ablation shows nothing")
 	}
-	if _, err := DBFAblation(1, nil, 5); err == nil {
+	if _, err := DBFAblation(1, nil, 5, 1); err == nil {
 		t.Error("empty loads accepted")
 	}
 }

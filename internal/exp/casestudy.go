@@ -24,6 +24,7 @@ import (
 
 	"rtoffload/internal/core"
 	"rtoffload/internal/imgproc"
+	"rtoffload/internal/parallel"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
 	"rtoffload/internal/server"
@@ -34,6 +35,11 @@ import (
 // CaseStudyConfig parameterizes the §6.1 reproduction.
 type CaseStudyConfig struct {
 	Seed uint64
+	// Parallel bounds the worker pool the sweeps fan out on
+	// (0 = GOMAXPROCS, 1 = sequential). Results are bit-identical for
+	// every value: all randomness is derived per work item with
+	// stats.DeriveSeed, independent of execution order.
+	Parallel int
 	// FrameW/H is the camera resolution the robot captures.
 	FrameW, FrameH int
 	// LocalUtil is the per-task local utilization Ci/Ti the image
@@ -303,44 +309,49 @@ func Figure2(cfg CaseStudyConfig) (*Figure2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure2Result{Tasks: set}
+	scenarios := []server.Scenario{server.Busy, server.NotBusy, server.Idle}
 	perms := permutations4()
 	horizon := rtime.FromSeconds(cfg.HorizonSeconds)
-	for _, scenario := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
+	points, err := parallel.Map(cfg.Parallel, len(scenarios)*len(perms), func(i int) (Figure2Point, error) {
+		scenario := scenarios[i/len(perms)]
+		wi := i % len(perms)
+		weights := perms[wi]
 		srvCfg, err := CaseServerConfig(scenario)
 		if err != nil {
-			return nil, err
+			return Figure2Point{}, err
 		}
-		for wi, weights := range perms {
-			ws := set.Clone()
-			for i := range ws {
-				ws[i].Weight = weights[i]
-			}
-			dec, err := core.Decide(ws, core.Options{Solver: cfg.Solver})
-			if err != nil {
-				return nil, fmt.Errorf("exp: work set %d: %w", wi+1, err)
-			}
-			srv, err := server.NewQueue(stats.NewRNG(cfg.Seed+uint64(1e6)*uint64(scenario+1)+uint64(wi)), srvCfg)
-			if err != nil {
-				return nil, err
-			}
-			sim, err := sched.Run(sched.Config{
-				Assignments: dec.Assignments(),
-				Server:      srv,
-				Horizon:     horizon,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, Figure2Point{
-				WorkSet:    wi + 1,
-				Weights:    weights,
-				Scenario:   scenario,
-				Normalized: sim.NormalizedBenefit(),
-				Offloaded:  dec.OffloadedCount(),
-				Misses:     sim.Misses,
-			})
+		ws := set.Clone()
+		for k := range ws {
+			ws[k].Weight = weights[k]
 		}
+		dec, err := core.Decide(ws, core.Options{Solver: cfg.Solver})
+		if err != nil {
+			return Figure2Point{}, fmt.Errorf("exp: work set %d: %w", wi+1, err)
+		}
+		seed := stats.DeriveSeed(cfg.Seed, streamFigure2, uint64(scenario), uint64(wi))
+		srv, err := server.NewQueue(stats.NewRNG(seed), srvCfg)
+		if err != nil {
+			return Figure2Point{}, err
+		}
+		sim, err := sched.Run(sched.Config{
+			Assignments: dec.Assignments(),
+			Server:      srv,
+			Horizon:     horizon,
+		})
+		if err != nil {
+			return Figure2Point{}, err
+		}
+		return Figure2Point{
+			WorkSet:    wi + 1,
+			Weights:    weights,
+			Scenario:   scenario,
+			Normalized: sim.NormalizedBenefit(),
+			Offloaded:  dec.OffloadedCount(),
+			Misses:     sim.Misses,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure2Result{Tasks: set, Points: points}, nil
 }

@@ -57,7 +57,14 @@ func RenderChart(w io.Writer, title string, xlabels []string, series []Series, h
 	pad := (hi - lo) * 0.05
 	lo, hi = lo-pad, hi+pad
 
-	const colWidth = 3
+	// Columns widen to the longest x label so a long label (e.g. a
+	// parallel-swept "+100" axis) can never overwrite its neighbor.
+	colWidth := 3
+	for _, l := range xlabels {
+		if len(l) > colWidth {
+			colWidth = len(l)
+		}
+	}
 	plotW := n * colWidth
 	grid := make([][]byte, height)
 	for r := range grid {
@@ -98,14 +105,15 @@ func RenderChart(w io.Writer, title string, xlabels []string, series []Series, h
 	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", plotW)); err != nil {
 		return err
 	}
-	// X labels, centred per column when they fit.
+	// X labels, centred per column and clamped to the column boundary
+	// so no label can bleed into the next one.
 	lab := []byte(strings.Repeat(" ", plotW))
 	for i, l := range xlabels {
 		start := i*colWidth + (colWidth-len(l))/2
-		if start < 0 {
+		if start < i*colWidth {
 			start = i * colWidth
 		}
-		for k := 0; k < len(l) && start+k < plotW; k++ {
+		for k := 0; k < len(l) && start+k < (i+1)*colWidth; k++ {
 			lab[start+k] = l[k]
 		}
 	}

@@ -63,6 +63,46 @@ func TestRenderChartErrors(t *testing.T) {
 	}
 }
 
+// Long x labels (wider than the default 3-char column) used to bleed
+// into the neighboring column; the columns must now widen to the
+// longest label so every label survives verbatim and stays disjoint.
+func TestRenderChartLongLabels(t *testing.T) {
+	var buf bytes.Buffer
+	labels := []string{"+100", "-100", "+50"}
+	if err := RenderChart(&buf, "wide", labels, []Series{
+		{Name: "s", Glyph: 's', Values: []float64{1, 2, 3}},
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The label row is the line right after the axis ("+----").
+	labRow := ""
+	for i, l := range lines {
+		if strings.Contains(l, "+--") && i+1 < len(lines) {
+			labRow = lines[i+1]
+			break
+		}
+	}
+	if labRow == "" {
+		t.Fatalf("no label row:\n%s", out)
+	}
+	for _, l := range labels {
+		if !strings.Contains(labRow, l) {
+			t.Errorf("label %q truncated or overwritten in %q", l, labRow)
+		}
+	}
+	// Columns are 4 wide (longest label); each label must stay within
+	// its own column of the label row.
+	body := labRow[strings.IndexFunc(labRow, func(r rune) bool { return r == '+' || r == '-' }):]
+	for i, l := range labels {
+		col := strings.TrimSpace(body[i*4 : min(len(body), (i+1)*4)])
+		if col != l {
+			t.Errorf("column %d holds %q, want %q (row %q)", i, col, l, labRow)
+		}
+	}
+}
+
 func TestRenderChartFlatSeries(t *testing.T) {
 	var buf bytes.Buffer
 	if err := RenderChart(&buf, "flat", []string{"x", "y"}, []Series{

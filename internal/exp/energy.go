@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtoffload/internal/core"
+	"rtoffload/internal/parallel"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
 	"rtoffload/internal/server"
@@ -58,31 +59,33 @@ func EnergyStudy(cfg CaseStudyConfig, pm sched.PowerModel) ([]EnergyRow, error) 
 		localAsgs[i] = sched.Assignment{Task: t}
 	}
 	horizon := rtime.FromSeconds(cfg.HorizonSeconds)
-	rows := make([]EnergyRow, 0, 3)
-	for _, scenario := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
+	scenarios := []server.Scenario{server.Busy, server.NotBusy, server.Idle}
+	return parallel.Map(cfg.Parallel, len(scenarios), func(i int) (EnergyRow, error) {
+		scenario := scenarios[i]
 		srvCfg, err := CaseServerConfig(scenario)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
-		srv, err := server.NewQueue(stats.NewRNG(cfg.Seed+uint64(9e6)+uint64(scenario)), srvCfg)
+		seed := stats.DeriveSeed(cfg.Seed, streamEnergy, uint64(scenario))
+		srv, err := server.NewQueue(stats.NewRNG(seed), srvCfg)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		off, err := sched.Run(sched.Config{Assignments: dec.Assignments(), Server: srv, Horizon: horizon})
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		offE, err := off.Energy(pm)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		loc, err := sched.Run(sched.Config{Assignments: localAsgs, Horizon: horizon})
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		locE, err := loc.Energy(pm)
 		if err != nil {
-			return nil, err
+			return EnergyRow{}, err
 		}
 		row := EnergyRow{Scenario: scenario, Offload: offE, Local: locE}
 		if locE.Joules > 0 {
@@ -92,7 +95,6 @@ func EnergyStudy(cfg CaseStudyConfig, pm sched.PowerModel) ([]EnergyRow, error) 
 			row.Hits += st.Hits
 			row.Comps += st.Compensations
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"rtoffload/internal/benefit"
 	"rtoffload/internal/core"
+	"rtoffload/internal/parallel"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
 	"rtoffload/internal/server"
@@ -16,6 +17,11 @@ import (
 // Figure3Config parameterizes the §6.2 simulation study.
 type Figure3Config struct {
 	Seed uint64
+	// Parallel bounds the worker pool the trials fan out on
+	// (0 = GOMAXPROCS, 1 = sequential). The sweep is bit-identical for
+	// every value: per-trial randomness is derived from (Seed, trial),
+	// not from a shared sequential generator.
+	Parallel int
 	// Ratios are the estimation-accuracy ratios x; the paper sweeps
 	// −0.4 … +0.4 in steps of 0.1.
 	Ratios []float64
@@ -118,13 +124,16 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 		return nil, fmt.Errorf("exp: figure 3 needs ratios and trials")
 	}
 	type acc struct{ analytic, sim, denom float64 }
-	sums := map[core.Solver][]acc{
-		core.SolverDP:  make([]acc, len(cfg.Ratios)),
-		core.SolverHEU: make([]acc, len(cfg.Ratios)),
-	}
-	rng := stats.NewRNG(cfg.Seed)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		trueSet, err := task.GenerateFigure3(rng.Fork(), cfg.TaskParams)
+	solvers := []core.Solver{core.SolverDP, core.SolverHEU}
+	// One independent accumulator grid per trial; trials fan out on the
+	// worker pool and the grids are folded in trial order afterwards,
+	// so float summation order is fixed whatever the worker count.
+	// (The old sequential loop ranged over a solver map while forking a
+	// shared RNG for the simulation, so with -simulate even *it* was
+	// not reproducible; per-(trial,ratio,solver) derived streams are.)
+	trials, err := parallel.Map(cfg.Parallel, cfg.Trials, func(trial int) (map[core.Solver][]acc, error) {
+		rng := stats.NewRNG(stats.DeriveSeed(cfg.Seed, streamFigure3Trial, uint64(trial)))
+		trueSet, err := task.GenerateFigure3(rng, cfg.TaskParams)
 		if err != nil {
 			return nil, err
 		}
@@ -140,12 +149,16 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 		if denom <= 0 {
 			return nil, fmt.Errorf("exp: degenerate trial %d: zero benefit at perfect estimation", trial)
 		}
+		grid := map[core.Solver][]acc{
+			core.SolverDP:  make([]acc, len(cfg.Ratios)),
+			core.SolverHEU: make([]acc, len(cfg.Ratios)),
+		}
 		for ri, x := range cfg.Ratios {
 			estSet, err := perturbFor(cfg.Interpretation, trueSet, x)
 			if err != nil {
 				return nil, err
 			}
-			for solver := range sums {
+			for si, solver := range solvers {
 				dec, err := core.Decide(estSet, core.Options{Solver: solver})
 				if err != nil {
 					return nil, fmt.Errorf("exp: trial %d x=%g %v: %w", trial, x, solver, err)
@@ -154,11 +167,13 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				a := &sums[solver][ri]
+				a := &grid[solver][ri]
 				a.analytic += realized
 				a.denom += denom
 				if cfg.Simulate {
-					frac, err := simulateHitBenefit(dec, trueSet, rng.Fork(), cfg.SimHorizonSecs)
+					simRNG := stats.NewRNG(stats.DeriveSeed(cfg.Seed, streamFigure3Sim,
+						uint64(trial), uint64(ri), uint64(si)))
+					frac, err := simulateHitBenefit(dec, trueSet, simRNG, cfg.SimHorizonSecs)
 					if err != nil {
 						return nil, err
 					}
@@ -166,9 +181,27 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 				}
 			}
 		}
+		return grid, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := map[core.Solver][]acc{
+		core.SolverDP:  make([]acc, len(cfg.Ratios)),
+		core.SolverHEU: make([]acc, len(cfg.Ratios)),
+	}
+	for _, grid := range trials {
+		for _, solver := range solvers {
+			for ri := range grid[solver] {
+				a := &sums[solver][ri]
+				a.analytic += grid[solver][ri].analytic
+				a.sim += grid[solver][ri].sim
+				a.denom += grid[solver][ri].denom
+			}
+		}
 	}
 	res := &Figure3Result{}
-	for _, solver := range []core.Solver{core.SolverDP, core.SolverHEU} {
+	for _, solver := range solvers {
 		for ri, x := range cfg.Ratios {
 			a := sums[solver][ri]
 			p := Figure3Point{Ratio: x, Solver: solver, Normalized: a.analytic / a.denom}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtoffload/internal/dbf"
+	"rtoffload/internal/parallel"
 	"rtoffload/internal/rta"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
@@ -28,68 +29,103 @@ type FPAblationRow struct {
 // offloaded with random budgets, half local) and counts acceptances
 // per test. The load parameter is the generated execution utilization
 // Σ(C1+C2)/T — suspensions come on top, which is what separates the
-// tests.
-func FPAblation(seed uint64, loads []float64, perLoad int) ([]FPAblationRow, error) {
+// tests. Systems fan out on `workers` goroutines (0 = GOMAXPROCS).
+func FPAblation(seed uint64, loads []float64, perLoad, workers int) ([]FPAblationRow, error) {
 	if len(loads) == 0 || perLoad <= 0 {
 		return nil, fmt.Errorf("exp: loads and perLoad must be non-empty")
 	}
-	rng := stats.NewRNG(seed)
-	rows := make([]FPAblationRow, 0, len(loads))
 	for _, load := range loads {
 		if load <= 0 || load > 1 {
 			return nil, fmt.Errorf("exp: load %g out of (0,1]", load)
 		}
+	}
+	type sysResult struct {
+		ok, fpObl, fpJit bool
+		// feasible marks systems whose split dbf objects could be
+		// built; only those count toward the EDF columns (the FP
+		// columns still count them, mirroring the sequential loop).
+		feasible, thm3, exact bool
+	}
+	results, err := parallel.Map(workers, len(loads)*perLoad, func(i int) (sysResult, error) {
+		li, sysi := i/perLoad, i%perLoad
+		rng := stats.NewRNG(stats.DeriveSeed(seed, streamFPAblation, uint64(li), uint64(sysi)))
+		asgs, ok := genMixedSystem(rng, loads[li])
+		if !ok {
+			return sysResult{}, nil
+		}
+		res := sysResult{ok: true}
+
+		model, err := rta.FromAssignments(asgs)
+		if err != nil {
+			return sysResult{}, err
+		}
+		if r, err := rta.Analyze(model, rta.Oblivious); err == nil && r.Schedulable {
+			res.fpObl = true
+		}
+		if r, err := rta.Analyze(model, rta.Jitter); err == nil && r.Schedulable {
+			res.fpJit = true
+		}
+
+		var off []dbf.Offloaded
+		var loc []dbf.Sporadic
+		var ds []dbf.Demand
+		res.feasible = true
+		for _, a := range asgs {
+			t := a.Task
+			if a.Offload {
+				o, err := dbf.NewOffloaded(t.SetupAt(a.Level), t.SecondPhaseAt(a.Level),
+					t.Deadline, t.Period, a.Budget())
+				if err != nil {
+					res.feasible = false
+					break
+				}
+				off = append(off, o)
+				ds = append(ds, o)
+			} else {
+				s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
+				if err != nil {
+					res.feasible = false
+					break
+				}
+				loc = append(loc, s)
+				ds = append(ds, s)
+			}
+		}
+		if !res.feasible {
+			return res, nil
+		}
+		if _, ok := dbf.Theorem3(off, loc); ok {
+			res.thm3 = true
+		}
+		if err := dbf.QPA(ds); err == nil {
+			res.exact = true
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FPAblationRow, 0, len(loads))
+	for li, load := range loads {
 		row := FPAblationRow{TargetLoad: load}
-		for sysi := 0; sysi < perLoad; sysi++ {
-			asgs, ok := genMixedSystem(rng, load)
-			if !ok {
+		for _, r := range results[li*perLoad : (li+1)*perLoad] {
+			if !r.ok {
 				continue
 			}
 			row.Systems++
-
-			model, err := rta.FromAssignments(asgs)
-			if err != nil {
-				return nil, err
-			}
-			if r, err := rta.Analyze(model, rta.Oblivious); err == nil && r.Schedulable {
+			if r.fpObl {
 				row.FPOblivious++
 			}
-			if r, err := rta.Analyze(model, rta.Jitter); err == nil && r.Schedulable {
+			if r.fpJit {
 				row.FPJitter++
 			}
-
-			var off []dbf.Offloaded
-			var loc []dbf.Sporadic
-			var ds []dbf.Demand
-			feasible := true
-			for _, a := range asgs {
-				t := a.Task
-				if a.Offload {
-					o, err := dbf.NewOffloaded(t.SetupAt(a.Level), t.SecondPhaseAt(a.Level),
-						t.Deadline, t.Period, a.Budget())
-					if err != nil {
-						feasible = false
-						break
-					}
-					off = append(off, o)
-					ds = append(ds, o)
-				} else {
-					s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
-					if err != nil {
-						feasible = false
-						break
-					}
-					loc = append(loc, s)
-					ds = append(ds, s)
-				}
-			}
-			if !feasible {
+			if !r.feasible {
 				continue
 			}
-			if _, ok := dbf.Theorem3(off, loc); ok {
+			if r.thm3 {
 				row.EDFTheorem3++
 			}
-			if err := dbf.QPA(ds); err == nil {
+			if r.exact {
 				row.EDFExact++
 			}
 		}

@@ -8,7 +8,7 @@ import "testing"
 // and at high load the EDF split tests admit more systems than the
 // FP analyses.
 func TestFPAblation(t *testing.T) {
-	rows, err := FPAblation(13, []float64{0.4, 0.6, 0.8}, 40)
+	rows, err := FPAblation(13, []float64{0.4, 0.6, 0.8}, 40, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,10 +40,10 @@ func TestFPAblation(t *testing.T) {
 	if sumThm <= sumObl {
 		t.Fatalf("EDF Theorem 3 (%d) does not beat FP oblivious (%d)", sumThm, sumObl)
 	}
-	if _, err := FPAblation(1, nil, 5); err == nil {
+	if _, err := FPAblation(1, nil, 5, 1); err == nil {
 		t.Error("empty loads accepted")
 	}
-	if _, err := FPAblation(1, []float64{2}, 5); err == nil {
+	if _, err := FPAblation(1, []float64{2}, 5, 1); err == nil {
 		t.Error("load > 1 accepted")
 	}
 }

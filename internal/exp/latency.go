@@ -45,7 +45,7 @@ func LatencyStudy(cfg CaseStudyConfig) ([]LatencyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv, err := server.NewQueue(stats.NewRNG(cfg.Seed+uint64(3e6)+uint64(scenario)), srvCfg)
+		srv, err := server.NewQueue(stats.NewRNG(stats.DeriveSeed(cfg.Seed, streamLatency, uint64(scenario))), srvCfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,25 @@
+package exp
+
+// Every RNG in the harness is seeded as
+// stats.DeriveSeed(cfg.Seed, stream, indices...), giving each consumer
+// a collision-free stream that depends only on the configured seed and
+// the unit of work — never on execution order. That independence is
+// what makes the parallel.Map rewiring of the hot loops bit-identical
+// to a sequential run: whichever worker picks up trial (s, wi), it
+// derives the same generator a sequential loop would have.
+//
+// The ids are part of every experiment's output identity: renumbering
+// them changes results exactly like changing the seed does, so new
+// streams are appended, never inserted.
+const (
+	streamFigure2 uint64 = iota + 1
+	streamMultiSeed
+	streamLatency
+	streamEnergy
+	streamFigure3Trial
+	streamFigure3Sim
+	streamSolverAblation
+	streamNaiveEDF
+	streamDBFAblation
+	streamFPAblation
+)

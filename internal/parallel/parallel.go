@@ -1,0 +1,121 @@
+// Package parallel provides the deterministic fan-out engine of the
+// experiment harness: a bounded worker pool whose Map collects results
+// in index order, stops dispatching on the first failure, and
+// propagates panics to the caller.
+//
+// Determinism is the package's contract, not an accident: Map promises
+// that the returned slice depends only on fn's per-index results,
+// never on the worker count or goroutine scheduling. Callers uphold
+// their half by deriving per-index RNG streams from the work index
+// (stats.DeriveSeed) instead of sharing a sequential generator, so an
+// experiment sharded over 8 workers is bit-identical to the same
+// experiment run on one.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// failure records the lowest-index failing call of a Map run.
+type failure struct {
+	idx     int
+	err     error
+	pan     any
+	isPanic bool
+}
+
+// Map runs fn(0), …, fn(n-1) on at most workers goroutines (GOMAXPROCS
+// when workers <= 0) and returns the n results in index order.
+//
+// Error handling is deterministic: when one or more indices fail, Map
+// stops dispatching new work, drains the in-flight calls, and returns
+// the error of the lowest failing index — the same error a sequential
+// run would have hit first. (Indices are dispatched in increasing
+// order and started work is always finished, so the lowest failing
+// index is guaranteed to have run whatever the schedule.) A panic in
+// fn is re-raised on Map's caller; if both a panic and an error occur,
+// whichever has the lower index wins.
+//
+// workers == 1 runs inline on the calling goroutine with no pool at
+// all — the sequential reference the determinism tests compare
+// against.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative task count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: task %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64 // next index to dispatch
+		stop atomic.Bool  // set on first failure
+		mu   sync.Mutex   // guards fail
+		fail *failure
+		wg   sync.WaitGroup
+	)
+	record := func(f failure) {
+		mu.Lock()
+		if fail == nil || f.idx < fail.idx {
+			fail = &f
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	run := func(i int) {
+		panicked := true
+		defer func() {
+			if panicked {
+				record(failure{idx: i, pan: recover(), isPanic: true})
+			}
+		}()
+		v, err := fn(i)
+		panicked = false
+		if err != nil {
+			record(failure{idx: i, err: err})
+			return
+		}
+		out[i] = v
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		if fail.isPanic {
+			panic(fail.pan)
+		}
+		return nil, fmt.Errorf("parallel: task %d: %w", fail.idx, fail.err)
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		got, err := Map(workers, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d holds %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+	if _, err := Map(4, -1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+// The first error — by index, not by wall clock — must be returned
+// whatever the worker count, and dispatch must stop early.
+func TestMapErrorDeterministicAndCancelling(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 8} {
+		var calls atomic.Int64
+		const n = 10_000
+		_, err := Map(workers, n, func(i int) (int, error) {
+			calls.Add(1)
+			if i == 7 || i == 4999 {
+				return 0, fmt.Errorf("at %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "task 7") {
+			t.Fatalf("workers=%d: lowest failing index not reported: %v", workers, err)
+		}
+		if c := calls.Load(); c >= n {
+			t.Fatalf("workers=%d: no cancellation, %d calls", workers, c)
+		}
+	}
+}
+
+func TestMapPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s, ok := r.(string); !ok || s != "kaboom" {
+					t.Fatalf("workers=%d: panic value %v", workers, r)
+				}
+			}()
+			Map(workers, 100, func(i int) (int, error) {
+				if i == 13 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+// With both a panic and an error in flight, the lower index wins — the
+// sequential semantics.
+func TestMapPanicBeforeError(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic at index 2 lost to error at index 90")
+		}
+	}()
+	Map(4, 100, func(i int) (int, error) {
+		if i == 2 {
+			panic("early")
+		}
+		if i == 90 {
+			return 0, errors.New("late")
+		}
+		return i, nil
+	})
+}
+
+func TestMapWorkersExceedingN(t *testing.T) {
+	got, err := Map(32, 3, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("results %v", got)
+	}
+}

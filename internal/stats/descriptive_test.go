@@ -207,3 +207,35 @@ func TestMeanCI(t *testing.T) {
 		t.Errorf("z=2.58 interval %g not wider than %g", h99, h)
 	}
 }
+
+func TestTCritical95(t *testing.T) {
+	// Spot checks against the published table.
+	cases := map[int]float64{
+		2:  12.706, // df = 1
+		3:  4.303,  // the default multi-seed run
+		5:  2.776,
+		10: 2.262,
+		30: 2.045,
+	}
+	for n, want := range cases {
+		if got := TCritical95(n); math.Abs(got-want) > 1e-9 {
+			t.Errorf("TCritical95(%d) = %g, want %g", n, got, want)
+		}
+	}
+	// Undefined below two samples.
+	if TCritical95(0) != 0 || TCritical95(1) != 0 {
+		t.Error("TCritical95 below n=2 must be 0")
+	}
+	// Falls back to z above 30 and never increases with n.
+	if got := TCritical95(31); got != 1.96 {
+		t.Errorf("TCritical95(31) = %g, want 1.96", got)
+	}
+	prev := math.Inf(1)
+	for n := 2; n <= 40; n++ {
+		v := TCritical95(n)
+		if v > prev {
+			t.Fatalf("TCritical95 not monotone at n=%d: %g > %g", n, v, prev)
+		}
+		prev = v
+	}
+}

@@ -25,13 +25,43 @@ func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
 	for i := range r.s {
-		sm += 0x9E3779B97F4A7C15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-		r.s[i] = z ^ (z >> 31)
+		sm += goldenGamma
+		r.s[i] = mix64(sm)
 	}
 	return r
+}
+
+// goldenGamma is the SplitMix64 increment (2⁶⁴/φ).
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mixer in
+// which every input bit affects every output bit.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed derives an independent seed from a base seed and a stream
+// path (experiment stream id, trial index, …). The derivation is a
+// pure function of (base, stream...): it never depends on call order,
+// which is what lets parallel experiment trials reproduce sequential
+// output bit for bit.
+//
+// Unlike the additive offsets it replaces (base + k·index), the
+// SplitMix64 avalanche keeps adjacent bases and indices in unrelated
+// streams: DeriveSeed(7919, 0) and DeriveSeed(0, 1) are distinct,
+// whereas 7919 + 0·7919 == 0 + 1·7919 collides. Paths of different
+// lengths are separated by folding each element with a fresh mix
+// round, so (a) and (a, 0) differ as well; the fold multiplies the
+// accumulator before combining, so it is not commutative and
+// (a, b, …) never collides with (b, a, …).
+func DeriveSeed(base uint64, stream ...uint64) uint64 {
+	x := mix64(base + goldenGamma)
+	for _, s := range stream {
+		x = mix64(x*goldenGamma ^ mix64(s+goldenGamma))
+	}
+	return x
 }
 
 // Fork derives an independent generator from r's stream. The child's

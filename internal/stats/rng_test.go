@@ -205,6 +205,51 @@ func TestSortedUniform(t *testing.T) {
 	}
 }
 
+// The regression the multi-seed experiments hit: with additive
+// offsets (base + run·7919), base 7919/run 0 and base 0/run 1 are the
+// same stream. DeriveSeed must keep adjacent bases and runs apart.
+func TestDeriveSeedNoAdditiveCollisions(t *testing.T) {
+	if DeriveSeed(7919, 0) == DeriveSeed(0, 1) {
+		t.Fatal("DeriveSeed reproduces the additive-offset collision")
+	}
+	// Streams of adjacent base seeds must diverge immediately.
+	for base := uint64(0); base < 8; base++ {
+		a := NewRNG(DeriveSeed(base, 3))
+		b := NewRNG(DeriveSeed(base+1, 3))
+		if a.Uint64() == b.Uint64() {
+			t.Fatalf("base %d and %d share a stream", base, base+1)
+		}
+	}
+	// No collisions across a (base, stream, index) grid.
+	seen := map[uint64][3]uint64{}
+	for base := uint64(0); base < 20; base++ {
+		for stream := uint64(0); stream < 12; stream++ {
+			for idx := uint64(0); idx < 20; idx++ {
+				s := DeriveSeed(base, stream, idx)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) vs %v", base, stream, idx, prev)
+				}
+				seen[s] = [3]uint64{base, stream, idx}
+			}
+		}
+	}
+}
+
+func TestDeriveSeedPureAndPathSensitive(t *testing.T) {
+	if DeriveSeed(5, 1, 2) != DeriveSeed(5, 1, 2) {
+		t.Fatal("DeriveSeed not a pure function")
+	}
+	if DeriveSeed(5, 1, 2) == DeriveSeed(5, 2, 1) {
+		t.Fatal("DeriveSeed ignores path order")
+	}
+	if DeriveSeed(5) == DeriveSeed(5, 0) {
+		t.Fatal("DeriveSeed ignores path length")
+	}
+	if DeriveSeed(5) == NewRNG(5).Uint64() {
+		t.Fatal("derived seed trivially equals the base stream")
+	}
+}
+
 func TestUUniFastProperty(t *testing.T) {
 	f := func(seed uint64, n uint8, tot uint8) bool {
 		k := int(n%16) + 1
