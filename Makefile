@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench fmt
+# The demand-analysis micro-benchmarks tracked in BENCH_2.json.
+MICROBENCH = BenchmarkQPA$$|BenchmarkImproveWithExact|BenchmarkAdmissionChurn
+
+.PHONY: build test vet race verify bench bench-all profile fmt
 
 build:
 	$(GO) build ./...
@@ -19,8 +22,29 @@ race:
 # The pre-merge gate.
 verify: vet build race
 
+# Micro-benchmarks of the incremental demand-analysis engine, recorded
+# for regression tracking: benchstat-friendly text in BENCH_2.txt and a
+# JSON session appended to BENCH_2.json (which already holds the
+# pre-Analyzer baseline entry — do not overwrite it).
 bench:
+	$(GO) test -run='^$$' -bench='$(MICROBENCH)' -benchmem -count=5 . | tee BENCH_2.txt
+	$(GO) run ./cmd/benchjson -label current -merge BENCH_2.json < BENCH_2.txt > BENCH_2.json.tmp
+	mv BENCH_2.json.tmp BENCH_2.json
+
+# Smoke-run every benchmark once (no timing value, just liveness).
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Capture CPU+heap profiles of the benchmarks and of an ablations run;
+# inspect with e.g.
+#	$(GO) tool pprof -top cpu.out
+#	$(GO) tool pprof -top -sample_index=alloc_objects mem.out
+# (cmd/ablations and cmd/casestudy take -cpuprofile/-memprofile too.)
+profile:
+	$(GO) test -run='^$$' -bench='$(MICROBENCH)' -benchmem \
+		-cpuprofile cpu.out -memprofile mem.out .
+	$(GO) run ./cmd/ablations -per 10 -cpuprofile ablations_cpu.out -memprofile ablations_mem.out > /dev/null
+	@echo "profiles: cpu.out mem.out ablations_cpu.out ablations_mem.out"
 
 fmt:
 	gofmt -l -w .

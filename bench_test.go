@@ -296,6 +296,75 @@ func BenchmarkExactUpgrade(b *testing.B) {
 	}
 }
 
+// BenchmarkImproveWithExact isolates the QPA-driven upgrade pass: the
+// Theorem-3 decision is computed once outside the loop, so ns/op and
+// allocs/op measure only the exact-feasibility search — the hot path
+// of every exact ablation and of online re-decision.
+func BenchmarkImproveWithExact(b *testing.B) {
+	p := task.DefaultRandomSetParams()
+	p.N = 8
+	p.TotalUtil = 0.5
+	p.RespLoFrac = 0.3
+	p.RespHiFrac = 0.8
+	set, err := task.GenerateRandomSet(stats.NewRNG(17), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := core.Decide(set, core.Options{Solver: core.SolverDP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var improved *core.Decision
+	for i := 0; i < b.N; i++ {
+		improved, err = core.ImproveWithExact(base, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if improved != nil && base.TotalExpected > 0 {
+		b.ReportMetric(improved.TotalExpected/base.TotalExpected, "gain-vs-thm3")
+	}
+}
+
+// BenchmarkAdmissionChurn measures online admission churn: a rolling
+// window of tasks where every iteration admits one task and evicts the
+// oldest — the Add/Remove re-decision pattern of the online manager.
+func BenchmarkAdmissionChurn(b *testing.B) {
+	mkTask := func(id int) *task.Task {
+		period := rtime.FromMillis(int64(100 + 37*(id%7)))
+		c := period / 20
+		return &task.Task{
+			ID: id, Period: period, Deadline: period,
+			LocalWCET: c, Setup: c/4 + 1, Compensation: c,
+			LocalBenefit: 1,
+			Levels: []task.Level{
+				{Response: period / 4, Benefit: 2},
+				{Response: period / 2, Benefit: 3},
+			},
+		}
+	}
+	a := core.NewAdmission(core.Options{Solver: core.SolverHEU})
+	const window = 8
+	for id := 0; id < window; id++ {
+		if err := a.Add(mkTask(id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := window + i
+		if err := a.Add(mkTask(id)); err != nil {
+			b.Fatal(err)
+		}
+		if ok, err := a.Remove(id - window); err != nil || !ok {
+			b.Fatalf("remove %d: ok=%v err=%v", id-window, ok, err)
+		}
+	}
+}
+
 // BenchmarkPartitionScaling measures partitioned decisions across core
 // counts and reports the benefit scaling (8 heavy tasks).
 func BenchmarkPartitionScaling(b *testing.B) {

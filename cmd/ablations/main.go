@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ablations [-seed N] [-parallel N] [-per N]
+//	ablations [-seed N] [-parallel N] [-per N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Generated systems fan out on -parallel workers; every table is
 // bit-identical for every worker count, so -parallel only changes the
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rtoffload/internal/exp"
+	"rtoffload/internal/prof"
 )
 
 func main() {
@@ -27,11 +28,21 @@ func main() {
 		seed = flag.Uint64("seed", 7, "deterministic seed")
 		par  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		per  = flag.Int("per", 40, "systems per load level")
+		cpu  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mem  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpu, *mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ablations:", err)
+		stopProf()
 		os.Exit(1)
 	}
 	start := time.Now()

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	casestudy [-seed N] [-parallel N] [-horizon SECONDS] [-solver dp|heu] [-csv] [-table1] [-figure2]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With neither -table1 nor -figure2, both are produced. The sweeps
 // fan out on -parallel workers; the output is bit-identical for every
@@ -21,6 +22,7 @@ import (
 
 	"rtoffload/internal/core"
 	"rtoffload/internal/exp"
+	"rtoffload/internal/prof"
 	"rtoffload/internal/server"
 )
 
@@ -36,8 +38,16 @@ func main() {
 		multi   = flag.Int("multiseed", 0, "additionally report Figure-2 scenario means over N seeds with 95% CIs")
 		latency = flag.Bool("latency", false, "produce the per-task response-time profile instead")
 		chart   = flag.Bool("chart", false, "also draw Figure 2 as an ASCII chart")
+		cpu     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mem     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	if stopProf, err = prof.Start(*cpu, *mem); err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cfg := exp.DefaultCaseStudyConfig()
 	cfg.Seed = *seed
@@ -136,7 +146,12 @@ func main() {
 	}
 }
 
+// stopProf flushes the -cpuprofile/-memprofile outputs; fatal calls it
+// so error exits still leave usable profiles behind.
+var stopProf = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "casestudy:", err)
+	stopProf()
 	os.Exit(1)
 }

@@ -254,7 +254,11 @@ func cmdAnalyze(args []string) error {
 	for i, s := range loc {
 		ds[i] = s
 	}
-	if err := dbf.QPA(ds); err != nil {
+	az, err := dbf.NewAnalyzer(ds)
+	if err != nil {
+		return err
+	}
+	if err := az.Feasible(); err != nil {
 		fmt.Printf("exact QPA test (all-local): REJECTED: %v\n", err)
 	} else {
 		fmt.Println("exact QPA test (all-local): passed")

@@ -9,7 +9,10 @@ import (
 // Admission is the online face of the Offloading Decision Manager: it
 // maintains a current task set and decision, re-deciding when tasks
 // arrive or leave and rejecting arrivals that would make the system
-// unschedulable even with every task local.
+// unschedulable even with every task local. With Options.ExactUpgrade
+// set, every re-decision is additionally upgraded through the
+// incremental dbf.Analyzer's exact QPA oracle, so churn stays cheap
+// even when the exact test is in the loop.
 type Admission struct {
 	opts  Options
 	tasks task.Set

@@ -84,6 +84,13 @@ type Options struct {
 	// DPResolution is the capacity grid of the DP solver
 	// (0 = mckp.DefaultDPResolution).
 	DPResolution int
+	// ExactUpgrade post-processes every decision with ImproveWithExact:
+	// the exact QPA feasibility oracle (via the incremental
+	// dbf.Analyzer) upgrades offloading levels beyond what Theorem 3's
+	// linear bound admits. Decisions then carry ExactVerified and may
+	// exceed 1 on the Theorem-3 scale. Online users (Admission) get the
+	// upgrade on every Add/Remove re-decision.
+	ExactUpgrade bool
 }
 
 // Choice is the decision for one task.
@@ -267,6 +274,9 @@ func Decide(set task.Set, opts Options) (*Decision, error) {
 		c.Expected = c.Task.EffectiveWeight() * c.Task.LocalBenefit
 		d.TotalExpected += c.Expected
 		d.Repaired++
+	}
+	if opts.ExactUpgrade {
+		return ImproveWithExact(d, set)
 	}
 	return d, nil
 }

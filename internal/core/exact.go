@@ -7,27 +7,27 @@ import (
 	"rtoffload/internal/task"
 )
 
-// demandsOf builds the exact demand model of a choice vector: one
-// dbf.Offloaded per offloaded task (split sub-jobs, suspension ≤ Ri)
-// and one dbf.Sporadic per local task.
+// demandOf builds the exact demand model of one choice: a
+// dbf.Offloaded (split sub-jobs, suspension ≤ Ri) when offloading,
+// else a dbf.Sporadic.
+func demandOf(c Choice) (dbf.Demand, error) {
+	t := c.Task
+	if c.Offload {
+		return dbf.NewOffloaded(t.SetupAt(c.Level), t.SecondPhaseAt(c.Level),
+			t.Deadline, t.Period, t.Levels[c.Level].Response)
+	}
+	return dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
+}
+
+// demandsOf builds the exact demand model of a choice vector.
 func demandsOf(choices []Choice) ([]dbf.Demand, error) {
 	ds := make([]dbf.Demand, 0, len(choices))
 	for _, c := range choices {
-		t := c.Task
-		if c.Offload {
-			o, err := dbf.NewOffloaded(t.SetupAt(c.Level), t.SecondPhaseAt(c.Level),
-				t.Deadline, t.Period, t.Levels[c.Level].Response)
-			if err != nil {
-				return nil, err
-			}
-			ds = append(ds, o)
-		} else {
-			s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period)
-			if err != nil {
-				return nil, err
-			}
-			ds = append(ds, s)
+		d, err := demandOf(c)
+		if err != nil {
+			return nil, err
 		}
+		ds = append(ds, d)
 	}
 	return ds, nil
 }
@@ -39,6 +39,11 @@ func demandsOf(choices []Choice) ([]dbf.Demand, error) {
 // test often leaves room for higher offloading levels. The pass
 // repeatedly applies the single level upgrade with the largest
 // weighted-benefit gain that QPA still admits, until none fits.
+//
+// Each candidate is tried through an incremental dbf.Analyzer — an
+// O(1) demand swap against cached aggregates instead of a full
+// rebuild — so the pass is cheap enough for online re-decision. The
+// per-(task, level) candidate demands are constructed once up front.
 //
 // The result may exceed 1 on the Theorem-3 scale (that is the point);
 // its ExactVerified flag is set, and the per-claim guarantee is the
@@ -58,6 +63,47 @@ func ImproveWithExact(d *Decision, set task.Set) (*Decision, error) {
 		Repaired:      d.Repaired,
 		ExactVerified: true,
 	}
+	if az, levelDemands, err := newUpgradeState(out.Choices); err == nil {
+		improveLoop(out, az, levelDemands)
+	}
+	total, _ := theorem3Of(out.Choices)
+	out.Theorem3Total = total
+	return out, nil
+}
+
+// newUpgradeState builds the Analyzer over the decision's current
+// demands plus the candidate demand of every (task, level) pair.
+// Levels that cannot form a valid split model stay nil — they are
+// never feasible, matching the rebuild-from-scratch behavior.
+func newUpgradeState(choices []Choice) (*dbf.Analyzer, [][]dbf.Demand, error) {
+	ds, err := demandsOf(choices)
+	if err != nil {
+		return nil, nil, err
+	}
+	az, err := dbf.NewAnalyzer(ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	levelDemands := make([][]dbf.Demand, len(choices))
+	for i, c := range choices {
+		t := c.Task
+		levelDemands[i] = make([]dbf.Demand, len(t.Levels))
+		for lv := range t.Levels {
+			o, err := dbf.NewOffloaded(t.SetupAt(lv), t.SecondPhaseAt(lv),
+				t.Deadline, t.Period, t.Levels[lv].Response)
+			if err != nil {
+				continue
+			}
+			levelDemands[i][lv] = o
+		}
+	}
+	return az, levelDemands, nil
+}
+
+// improveLoop applies the greedy best-gain upgrade until no candidate
+// passes the exact test, keeping the Analyzer in sync with out.
+func improveLoop(out *Decision, az *dbf.Analyzer, levelDemands [][]dbf.Demand) {
+	feasible := (*dbf.Analyzer).Feasible
 	for {
 		bestIdx, bestLevel := -1, 0
 		bestGain := 0.0
@@ -74,17 +120,21 @@ func ImproveWithExact(d *Decision, set task.Set) (*Decision, error) {
 				if gain <= bestGain {
 					continue
 				}
-				cand := out.Choices[i]
-				cand.Offload = true
-				cand.Level = lv
-				if !exactFeasibleWith(out.Choices, i, cand) {
+				cand := levelDemands[i][lv]
+				if cand == nil {
+					continue
+				}
+				if az.With(i, cand, feasible) != nil {
 					continue
 				}
 				bestIdx, bestLevel, bestGain = i, lv, gain
 			}
 		}
 		if bestIdx < 0 {
-			break
+			return
+		}
+		if err := az.Swap(bestIdx, levelDemands[bestIdx][bestLevel]); err != nil {
+			return
 		}
 		c := &out.Choices[bestIdx]
 		old := c.Expected
@@ -93,21 +143,6 @@ func ImproveWithExact(d *Decision, set task.Set) (*Decision, error) {
 		c.Expected = c.Task.EffectiveWeight() * c.Task.Levels[bestLevel].Benefit
 		out.TotalExpected += c.Expected - old
 	}
-	total, _ := theorem3Of(out.Choices)
-	out.Theorem3Total = total
-	return out, nil
-}
-
-// exactFeasibleWith tests QPA feasibility of choices with element i
-// replaced by cand.
-func exactFeasibleWith(choices []Choice, i int, cand Choice) bool {
-	tmp := append([]Choice(nil), choices...)
-	tmp[i] = cand
-	ds, err := demandsOf(tmp)
-	if err != nil {
-		return false
-	}
-	return dbf.QPA(ds) == nil
 }
 
 // VerifyExact runs the exact processor-demand test on a decision's
@@ -117,5 +152,9 @@ func VerifyExact(d *Decision) error {
 	if err != nil {
 		return err
 	}
-	return dbf.QPA(ds)
+	az, err := dbf.NewAnalyzer(ds)
+	if err != nil {
+		return err
+	}
+	return az.Feasible()
 }

@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"testing"
 
+	"rtoffload/internal/dbf"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
 	"rtoffload/internal/server"
@@ -162,6 +163,155 @@ func TestImproveWithExactProperty(t *testing.T) {
 	}
 	if improvedCount == 0 {
 		t.Error("exact test never improved anything across 25 trials")
+	}
+}
+
+// Options.ExactUpgrade routes Decide (and through it the online
+// Admission manager) through the exact-upgrade pass.
+func TestOptionsExactUpgrade(t *testing.T) {
+	set := task.Set{largeBudgetTask(1), largeBudgetTask(2)}
+	plain, err := Decide(set, Options{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Decide(set, Options{Solver: SolverDP, ExactUpgrade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.ExactVerified {
+		t.Error("ExactVerified not set by Decide with ExactUpgrade")
+	}
+	if up.TotalExpected <= plain.TotalExpected {
+		t.Fatalf("no upgrade: %g vs %g", up.TotalExpected, plain.TotalExpected)
+	}
+	if err := VerifyExact(up); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAdmission(Options{Solver: SolverHEU, ExactUpgrade: true})
+	for _, tk := range set {
+		if err := a.Add(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := a.Decision()
+	if dec == nil || !dec.ExactVerified {
+		t.Fatalf("admission decision %+v not exact-verified", dec)
+	}
+	if err := VerifyExact(dec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if dec := a.Decision(); dec == nil || !dec.ExactVerified || VerifyExact(dec) != nil {
+		t.Fatalf("post-remove decision %+v lost exact verification", dec)
+	}
+}
+
+// improveRebuildReference is the pre-Analyzer reference: the same
+// greedy best-gain loop, but every candidate is tried by rebuilding
+// the full demand vector and running a fresh QPA.
+func improveRebuildReference(d *Decision, set task.Set) (*Decision, error) {
+	if d == nil {
+		return nil, nil
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Decision{
+		Choices:       append([]Choice(nil), d.Choices...),
+		TotalExpected: d.TotalExpected,
+		Solver:        d.Solver,
+		Repaired:      d.Repaired,
+		ExactVerified: true,
+	}
+	feasibleAt := func(i, lv int) bool {
+		trial := append([]Choice(nil), out.Choices...)
+		trial[i].Offload = true
+		trial[i].Level = lv
+		ds, err := demandsOf(trial)
+		if err != nil {
+			return false
+		}
+		return dbf.QPA(ds) == nil
+	}
+	for {
+		bestIdx, bestLevel := -1, 0
+		bestGain := 0.0
+		for i, c := range out.Choices {
+			tk := c.Task
+			from := -1
+			cur := tk.EffectiveWeight() * tk.LocalBenefit
+			if c.Offload {
+				from = c.Level
+				cur = tk.EffectiveWeight() * tk.Levels[c.Level].Benefit
+			}
+			for lv := from + 1; lv < len(tk.Levels); lv++ {
+				gain := tk.EffectiveWeight()*tk.Levels[lv].Benefit - cur
+				if gain <= bestGain || !feasibleAt(i, lv) {
+					continue
+				}
+				bestIdx, bestLevel, bestGain = i, lv, gain
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		c := &out.Choices[bestIdx]
+		old := c.Expected
+		c.Offload = true
+		c.Level = bestLevel
+		c.Expected = c.Task.EffectiveWeight() * c.Task.Levels[bestLevel].Benefit
+		out.TotalExpected += c.Expected - old
+	}
+	total, _ := theorem3Of(out.Choices)
+	out.Theorem3Total = total
+	return out, nil
+}
+
+// TestImproveWithExactMatchesRebuild pins the incremental-Analyzer
+// implementation to the rebuild-from-scratch reference: identical
+// choices, totals and Theorem-3 scale on random sets across solvers.
+func TestImproveWithExactMatchesRebuild(t *testing.T) {
+	rng := stats.NewRNG(9090)
+	for trial := 0; trial < 30; trial++ {
+		p := task.DefaultRandomSetParams()
+		p.N = rng.IntN(8) + 2
+		p.TotalUtil = rng.Uniform(0.2, 0.85)
+		p.RespLoFrac = 0.2
+		p.RespHiFrac = 0.9
+		set, err := task.GenerateRandomSet(rng.Fork(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver := []Solver{SolverDP, SolverHEU, SolverGreedy}[trial%3]
+		base, err := Decide(set, Options{Solver: solver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ImproveWithExact(base, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := improveRebuildReference(base, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalExpected != want.TotalExpected {
+			t.Fatalf("trial %d: TotalExpected %g vs reference %g",
+				trial, got.TotalExpected, want.TotalExpected)
+		}
+		if got.Theorem3Total.Cmp(want.Theorem3Total) != 0 {
+			t.Fatalf("trial %d: Theorem3Total %v vs reference %v",
+				trial, got.Theorem3Total, want.Theorem3Total)
+		}
+		for i := range got.Choices {
+			g, w := got.Choices[i], want.Choices[i]
+			if g.Offload != w.Offload || g.Level != w.Level || g.Expected != w.Expected {
+				t.Fatalf("trial %d choice %d: %+v vs reference %+v", trial, i, g, w)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,210 @@
+package dbf
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/stats"
+)
+
+// foreignDemand wraps a Sporadic so the type switch in newDemandStat
+// does not recognize it, forcing the Analyzer's wide big.Rat tier.
+type foreignDemand struct{ Sporadic }
+
+// randomSwapDemand draws one replacement demand. A small fraction use
+// hour-scale periods (whose burst numerator overflows int64, forcing a
+// wide stat) or the foreign wrapper (forcing the wide tier outright),
+// so every aggregate tier and every tier transition gets exercised.
+func randomSwapDemand(rng *stats.RNG) Demand {
+	if rng.Bool(0.08) {
+		// Huge parameters: C·(T−D) overflows int64.
+		period := rtime.Duration(rng.Int64N(1e12)) + 4e12
+		c := period/3 + rtime.Duration(rng.Int64N(int64(period/3)))
+		s, err := NewSporadic(c, period, period)
+		if err == nil {
+			return s
+		}
+	}
+	period := ms(rng.UniformInt(50, 500))
+	c := rtime.Duration(rng.Int64N(int64(period/2))) + 1
+	if rng.Bool(0.5) {
+		d := c + rtime.Duration(rng.Int64N(int64(period-c)+1))
+		s, err := NewSporadic(c, d, period)
+		if err != nil {
+			return nil
+		}
+		if rng.Bool(0.15) {
+			return foreignDemand{s}
+		}
+		return s
+	}
+	c1 := c/4 + 1
+	r := rtime.Duration(rng.Int64N(int64(period / 2)))
+	o, err := NewOffloaded(c1, c, period, period, r)
+	if err != nil {
+		return nil
+	}
+	return o
+}
+
+// sameVerdict reports whether two feasibility verdicts are identical:
+// both nil, both ErrOverloaded, or Violations with equal windows.
+func sameVerdict(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if errors.Is(a, ErrOverloaded) || errors.Is(b, ErrOverloaded) {
+		return errors.Is(a, ErrOverloaded) && errors.Is(b, ErrOverloaded)
+	}
+	var va, vb *Violation
+	if !errors.As(a, &va) || !errors.As(b, &vb) {
+		// Horizon overflow errors and the like: compare text.
+		return a.Error() == b.Error()
+	}
+	return va.T == vb.T && va.Demand == vb.Demand
+}
+
+// checkAnalyzerAgainstFresh asserts the Analyzer's cached-aggregate
+// verdicts are identical to a fresh analysis of its current demands:
+// same Horizon, same QPA verdict including the exact Violation window,
+// and PDC feasibility agreement.
+func checkAnalyzerAgainstFresh(t *testing.T, az *Analyzer, ctx string) {
+	t.Helper()
+	ds := az.Demands()
+
+	hGot, errGot := az.Horizon()
+	hWant, errWant := Horizon(ds)
+	if hGot != hWant || !sameVerdict(errGot, errWant) {
+		t.Fatalf("%s: Horizon: analyzer (%v, %v) vs fresh (%v, %v) [mode=%d]",
+			ctx, hGot, errGot, hWant, errWant, az.mode)
+	}
+
+	got := az.Feasible()
+	want := QPA(ds)
+	if !sameVerdict(got, want) {
+		t.Fatalf("%s: Feasible: analyzer %v vs fresh QPA %v [mode=%d]",
+			ctx, got, want, az.mode)
+	}
+	// PDC is an equivalent exact test; the feasibility bits must agree
+	// (its witness window may legitimately differ from QPA's).
+	if pdc := PDC(ds); (pdc == nil) != (want == nil) {
+		t.Fatalf("%s: PDC %v disagrees with QPA %v", ctx, pdc, want)
+	}
+}
+
+// runAnalyzerDifferential drives one differential scenario: a random
+// initial configuration, then a sequence of random swaps (through both
+// Swap and With) with the Analyzer checked against fresh analyses
+// after every step. Individual demands use up to half their period, so
+// larger n covers overloaded systems as well as feasible ones.
+func runAnalyzerDifferential(t *testing.T, seed uint64, n, swaps int) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	var ds []Demand
+	for i := 0; i < n; i++ {
+		if d := randomSwapDemand(rng); d != nil {
+			ds = append(ds, d)
+		}
+	}
+	if len(ds) == 0 {
+		return
+	}
+	az, err := NewAnalyzer(ds)
+	if err != nil {
+		t.Fatalf("seed %d: NewAnalyzer: %v", seed, err)
+	}
+	checkAnalyzerAgainstFresh(t, az, "initial")
+	for s := 0; s < swaps; s++ {
+		i := rng.IntN(az.Len())
+		d := randomSwapDemand(rng)
+		if d == nil {
+			continue
+		}
+		if rng.Bool(0.3) {
+			// Trial through With: the inner verdict must match a fresh
+			// analysis of the trial configuration, and the restore must
+			// put the aggregates back exactly.
+			before := az.Feasible()
+			err := az.With(i, d, func(a *Analyzer) error {
+				checkAnalyzerAgainstFresh(t, a, "inside With")
+				return a.Feasible()
+			})
+			trial := append([]Demand(nil), az.Demands()...)
+			trial[i] = d
+			if !sameVerdict(err, QPA(trial)) {
+				t.Fatalf("seed %d swap %d: With verdict %v vs fresh %v", seed, s, err, QPA(trial))
+			}
+			if after := az.Feasible(); !sameVerdict(before, after) {
+				t.Fatalf("seed %d swap %d: With did not restore: %v vs %v", seed, s, before, after)
+			}
+			checkAnalyzerAgainstFresh(t, az, "after With restore")
+			continue
+		}
+		if err := az.Swap(i, d); err != nil {
+			t.Fatalf("seed %d swap %d: Swap: %v", seed, s, err)
+		}
+		checkAnalyzerAgainstFresh(t, az, "after Swap")
+	}
+}
+
+// TestAnalyzerDifferentialProperty is the quick.Check form of the
+// differential property, covering light through overloaded systems.
+func TestAnalyzerDifferentialProperty(t *testing.T) {
+	check := func(seed uint64, nRaw, swapRaw uint8) bool {
+		n := int(nRaw%7) + 1
+		swaps := int(swapRaw%12) + 1
+		runAnalyzerDifferential(t, seed, n, swaps)
+		return !t.Failed()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzAnalyzerDifferential fuzzes the same property; the seeded corpus
+// covers every aggregate tier (narrow, scaled, wide via huge periods
+// and foreign demands) and both feasible and overloaded systems.
+func FuzzAnalyzerDifferential(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(6))
+	f.Add(uint64(2), uint8(1), uint8(3))
+	f.Add(uint64(3), uint8(6), uint8(10)) // larger sets: overload included
+	f.Add(uint64(17), uint8(5), uint8(8))
+	f.Add(uint64(42), uint8(2), uint8(12))
+	f.Add(uint64(4242), uint8(7), uint8(9))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, swapRaw uint8) {
+		n := int(nRaw%7) + 1
+		swaps := int(swapRaw%12) + 1
+		runAnalyzerDifferential(t, seed, n, swaps)
+	})
+}
+
+func TestAnalyzerArgumentErrors(t *testing.T) {
+	if _, err := NewAnalyzer([]Demand{nil}); err == nil {
+		t.Error("nil demand accepted")
+	}
+	s, err := NewSporadic(ms(1), ms(10), ms(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	az, err := NewAnalyzer([]Demand{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := az.Swap(1, s); err == nil {
+		t.Error("out-of-range Swap accepted")
+	}
+	if err := az.Swap(0, nil); err == nil {
+		t.Error("nil Swap accepted")
+	}
+	if err := az.With(-1, s, func(*Analyzer) error { return nil }); err == nil {
+		t.Error("out-of-range With accepted")
+	}
+	if az.Len() != 1 {
+		t.Errorf("Len = %d", az.Len())
+	}
+}

@@ -40,6 +40,9 @@ type Demand interface {
 	Burst() *big.Rat
 	// StepsUpTo lists every t ≤ limit where DBF increases, ascending.
 	StepsUpTo(limit rtime.Duration) []rtime.Duration
+	// FirstStep returns the smallest t > 0 where DBF increases, or 0
+	// when the demand has no steps at all.
+	FirstStep() rtime.Duration
 	// PrevStep returns the largest step strictly below t, or 0 when
 	// none exists.
 	PrevStep(t rtime.Duration) rtime.Duration
@@ -109,6 +112,15 @@ func (s Sporadic) Burst() *big.Rat {
 // StepsUpTo lists D, D+T, D+2T, … ≤ limit.
 func (s Sporadic) StepsUpTo(limit rtime.Duration) []rtime.Duration {
 	return stepsForOffset(nil, s.D, s.T, limit)
+}
+
+// FirstStep returns D, the first deadline.
+func (s Sporadic) FirstStep() rtime.Duration { return s.D }
+
+// stepStreams implements stepStreamer: one arithmetic progression
+// starting at D with period T.
+func (s Sporadic) stepStreams() []stepStream {
+	return []stepStream{{off: s.D, period: s.T}}
 }
 
 // PrevStep returns the largest step below t.
@@ -239,6 +251,33 @@ func (o Offloaded) StepsUpTo(limit rtime.Duration) []rtime.Duration {
 		steps = stepsForOffset(steps, off, o.T, limit)
 	}
 	return dedupSorted(steps)
+}
+
+// FirstStep returns the smallest positive offset of either alignment.
+func (o Offloaded) FirstStep() rtime.Duration {
+	best := rtime.Duration(0)
+	for _, off := range o.offsets() {
+		if off <= 0 {
+			continue
+		}
+		if best == 0 || off < best {
+			best = off
+		}
+	}
+	return best
+}
+
+// stepStreams implements stepStreamer: one arithmetic progression per
+// positive alignment offset, all with period T.
+func (o Offloaded) stepStreams() []stepStream {
+	streams := make([]stepStream, 0, 4)
+	for _, off := range o.offsets() {
+		if off <= 0 {
+			continue
+		}
+		streams = append(streams, stepStream{off: off, period: o.T})
+	}
+	return streams
 }
 
 // PrevStep returns the largest step below t across both alignments.

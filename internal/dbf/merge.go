@@ -1,0 +1,126 @@
+package dbf
+
+import "rtoffload/internal/rtime"
+
+// stepStreamer is implemented by demands whose step sequence is the
+// union of a few arithmetic progressions (offset, offset+period, …).
+// PDC merges these progressions lazily instead of materializing every
+// step up to the horizon, so long-horizon analyses stay O(#streams)
+// in memory rather than O(#steps).
+type stepStreamer interface {
+	stepStreams() []stepStream
+}
+
+// stepStream is one arithmetic progression of demand steps.
+type stepStream struct {
+	off, period rtime.Duration
+}
+
+// mergeCursor is one source in the k-way merge: either an arithmetic
+// progression (period > 0) or a materialized slice fallback for
+// Demand implementations outside this package (period == 0).
+type mergeCursor struct {
+	next   rtime.Duration
+	period rtime.Duration
+	rest   []rtime.Duration
+}
+
+// stepMerger yields the deduplicated ascending union of all demands'
+// steps up to a limit, without materializing the union. It is a
+// binary min-heap of cursors keyed by their next step.
+type stepMerger struct {
+	heap  []mergeCursor
+	limit rtime.Duration
+}
+
+// newStepMerger builds the merge over every demand's step sources.
+// Demands implementing stepStreamer contribute one cursor per
+// progression; anything else falls back to StepsUpTo(limit) once.
+func newStepMerger(ds []Demand, limit rtime.Duration) *stepMerger {
+	m := &stepMerger{limit: limit}
+	for _, d := range ds {
+		if s, ok := d.(stepStreamer); ok {
+			for _, st := range s.stepStreams() {
+				if st.off > limit {
+					continue
+				}
+				m.push(mergeCursor{next: st.off, period: st.period})
+			}
+			continue
+		}
+		steps := d.StepsUpTo(limit)
+		if len(steps) == 0 {
+			continue
+		}
+		m.push(mergeCursor{next: steps[0], rest: steps[1:]})
+	}
+	return m
+}
+
+// next returns the smallest unreported step ≤ limit, advancing every
+// cursor currently at that step. ok is false when all cursors are
+// exhausted.
+func (m *stepMerger) next() (t rtime.Duration, ok bool) {
+	if len(m.heap) == 0 {
+		return 0, false
+	}
+	t = m.heap[0].next
+	for len(m.heap) > 0 && m.heap[0].next == t {
+		m.advanceTop()
+	}
+	return t, true
+}
+
+// advanceTop moves the top cursor to its next step, dropping it when
+// exhausted, and restores the heap order.
+func (m *stepMerger) advanceTop() {
+	c := &m.heap[0]
+	switch {
+	case c.period > 0 && c.next <= m.limit-c.period:
+		c.next += c.period
+	case c.period == 0 && len(c.rest) > 0:
+		c.next = c.rest[0]
+		c.rest = c.rest[1:]
+	default:
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+		if len(m.heap) == 0 {
+			return
+		}
+	}
+	m.siftDown(0)
+}
+
+// push inserts a cursor and restores the heap order.
+func (m *stepMerger) push(c mergeCursor) {
+	m.heap = append(m.heap, c)
+	for i := len(m.heap) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if m.heap[parent].next <= m.heap[i].next {
+			break
+		}
+		m.heap[parent], m.heap[i] = m.heap[i], m.heap[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property from index i.
+func (m *stepMerger) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && m.heap[l].next < m.heap[smallest].next {
+			smallest = l
+		}
+		if r < n && m.heap[r].next < m.heap[smallest].next {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}

@@ -34,37 +34,49 @@ func Theorem3(offloaded []Offloaded, local []Sporadic) (total *big.Rat, ok bool)
 // finite analysis horizon exists.
 var ErrOverloaded = errors.New("dbf: total long-run demand rate ≥ 1")
 
+// errHorizonOverflow formats the horizon-overflow error identically
+// on the integer and big.Rat paths.
+func errHorizonOverflow(q *big.Int) error {
+	return fmt.Errorf("dbf: analysis horizon overflows int64 microseconds: %v", q)
+}
+
 // Horizon returns a rigorous upper bound on the length of any window
 // that can witness a demand violation: any t with ΣDBF(t) > t
 // satisfies t < ΣBurst / (1 − ΣRate). Windows beyond the horizon need
 // not be checked. Fails with ErrOverloaded when ΣRate ≥ 1.
+//
+// The aggregates are summed on the integer fast path (frac) when they
+// fit in int64; big.Rat is the exact fallback, so the result is
+// identical either way.
 func Horizon(ds []Demand) (rtime.Duration, error) {
-	u := TotalRate(ds)
-	if u.Cmp(one) >= 0 {
-		return 0, ErrOverloaded
-	}
-	burst := new(big.Rat)
+	rate, burst := fracZero, fracZero
+	fast := true
 	for _, d := range ds {
-		burst.Add(burst, d.Burst())
+		st, ok := newDemandStat(d)
+		if !ok || st.wide {
+			fast = false
+			break
+		}
+		if rate, ok = rate.add(st.rate); !ok {
+			fast = false
+			break
+		}
+		if burst, ok = burst.add(st.burst); !ok {
+			fast = false
+			break
+		}
 	}
-	den := new(big.Rat).Sub(one, u)
-	h := new(big.Rat).Quo(burst, den)
-	// Round up to the next microsecond; a zero burst means demand never
-	// exceeds rate·t < t, so any positive horizon works.
-	f, _ := h.Float64()
-	if f < 1 {
-		return 1, nil
+	if fast {
+		if h, ok, err := horizonFromFracs(rate, burst); ok {
+			return h, err
+		}
 	}
-	num := new(big.Int).Set(h.Num())
-	den2 := h.Denom()
-	q := new(big.Int).Div(num, den2)
-	if new(big.Int).Mul(q, den2).Cmp(num) != 0 {
-		q.Add(q, big.NewInt(1))
+	u := TotalRate(ds)
+	b := new(big.Rat)
+	for _, d := range ds {
+		b.Add(b, d.Burst())
 	}
-	if !q.IsInt64() {
-		return 0, fmt.Errorf("dbf: analysis horizon overflows int64 microseconds: %v", q)
-	}
-	return rtime.Duration(q.Int64()), nil
+	return horizonFromRats(u, b)
 }
 
 // Violation describes a failed demand test: at window length T the
@@ -88,13 +100,10 @@ func PDC(ds []Demand) error {
 	if err != nil {
 		return err
 	}
-	// Merge the per-demand step lists lazily: collect and scan.
-	steps := make([]rtime.Duration, 0, 1024)
-	for _, d := range ds {
-		steps = append(steps, d.StepsUpTo(h)...)
-	}
-	steps = dedupSorted(steps)
-	for _, t := range steps {
+	// K-way streaming merge over per-demand step cursors: memory stays
+	// O(#progressions) even when the horizon spans millions of steps.
+	m := newStepMerger(ds, h)
+	for t, ok := m.next(); ok; t, ok = m.next() {
 		if dem := TotalDBF(ds, t); dem > t {
 			return &Violation{T: t, Demand: dem}
 		}
@@ -110,10 +119,21 @@ func QPA(ds []Demand) error {
 	if err != nil {
 		return err
 	}
+	return qpaScan(ds, h)
+}
+
+// qpaScan is the QPA backward scan over a fixed horizon, shared by
+// QPA and the incremental Analyzer.
+func qpaScan(ds []Demand, h rtime.Duration) error {
 	dmin := minStep(ds, h)
 	if dmin == 0 {
 		return nil // no demand steps at all
 	}
+	return qpaScanFrom(ds, h, dmin)
+}
+
+// qpaScanFrom runs the backward scan with a precomputed smallest step.
+func qpaScanFrom(ds []Demand, h, dmin rtime.Duration) error {
 	// Zhang & Burns, Algorithm 1:
 	//
 	//	t := max{step < L}
@@ -152,16 +172,17 @@ func prevStepAll(ds []Demand, t rtime.Duration) rtime.Duration {
 }
 
 // minStep returns the smallest step of any demand within the horizon,
-// or 0 when there are none.
+// or 0 when there are none. FirstStep keeps this allocation-free — no
+// step slice is materialized just to read its head.
 func minStep(ds []Demand, h rtime.Duration) rtime.Duration {
 	best := rtime.Duration(0)
 	for _, d := range ds {
-		ss := d.StepsUpTo(h)
-		if len(ss) == 0 {
+		fs := d.FirstStep()
+		if fs == 0 || fs > h {
 			continue
 		}
-		if best == 0 || ss[0] < best {
-			best = ss[0]
+		if best == 0 || fs < best {
+			best = fs
 		}
 	}
 	return best

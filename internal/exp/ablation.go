@@ -288,7 +288,11 @@ func DBFAblation(seed uint64, loads []float64, perLoad, workers int) ([]DBFAblat
 		if _, pass := dbf.Theorem3(off, nil); pass {
 			res.thm3 = true
 		}
-		if err := dbf.QPA(ds); err == nil {
+		az, err := dbf.NewAnalyzer(ds)
+		if err != nil {
+			return sysResult{}, err
+		}
+		if az.Feasible() == nil {
 			res.exact = true
 		}
 		return res, nil

@@ -97,7 +97,11 @@ func FPAblation(seed uint64, loads []float64, perLoad, workers int) ([]FPAblatio
 		if _, ok := dbf.Theorem3(off, loc); ok {
 			res.thm3 = true
 		}
-		if err := dbf.QPA(ds); err == nil {
+		az, err := dbf.NewAnalyzer(ds)
+		if err != nil {
+			return sysResult{}, err
+		}
+		if az.Feasible() == nil {
 			res.exact = true
 		}
 		return res, nil

@@ -1,0 +1,56 @@
+// Package prof wires the runtime's CPU and heap profilers into
+// command-line tools: each cmd exposes -cpuprofile/-memprofile flags
+// and defers prof.Start's stop function. Inspect the results with
+//
+//	go tool pprof -top <binary> cpu.out
+//	go tool pprof -top -sample_index=alloc_objects <binary> mem.out
+//
+// (see also the Makefile's `profile` target).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges a heap profile
+// at memPath; either may be empty to skip that profile. The returned
+// stop function flushes and closes the profiles and must be called
+// exactly once (typically deferred in main). Errors during stop are
+// reported on stderr — by then the tool's real output is already out.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		memFile, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		defer memFile.Close()
+		runtime.GC() // settle live objects so the heap profile is sharp
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+		}
+	}, nil
+}
