@@ -3,7 +3,7 @@ GO ?= go
 # The demand-analysis micro-benchmarks tracked in BENCH_2.json.
 MICROBENCH = BenchmarkQPA$$|BenchmarkImproveWithExact|BenchmarkAdmissionChurn
 
-.PHONY: build test vet race verify bench bench-all profile fmt
+.PHONY: build test vet race verify lint bench bench-all profile fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Domain-invariant lint: determinism, exact arithmetic, overflow
+# guards, error sinks. Exits nonzero on any finding; exemptions need
+# an //rtlint:allow directive with a reason (see CONTRIBUTING.md).
+lint:
+	$(GO) run ./cmd/rtlint -dir .
+
 # The pre-merge gate.
-verify: vet build race
+verify: vet lint build race
 
 # Micro-benchmarks of the incremental demand-analysis engine, recorded
 # for regression tracking: benchstat-friendly text in BENCH_2.txt and a
@@ -48,3 +54,8 @@ profile:
 
 fmt:
 	gofmt -l -w .
+
+# Non-mutating formatting gate for CI: fails if any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -45,7 +45,7 @@ func main() {
 		stopProf()
 		os.Exit(1)
 	}
-	start := time.Now()
+	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 
 	fmt.Println("A — deadline splitting vs naive EDF (adversarial server, miss rate per load)")
 	edfRows, err := exp.NaiveEDFAblation(*seed, []float64{0.5, 0.7, 0.85, 0.95}, *per, *par)
@@ -146,5 +146,5 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "ablations: wall-clock %.2fs (parallel=%d)\n",
-		time.Since(start).Seconds(), *par)
+		time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 }

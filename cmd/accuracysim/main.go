@@ -49,14 +49,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	start := time.Now()
+	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 	res, err := exp.Figure3(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "accuracysim:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "accuracysim: sweep wall-clock %.2fs (parallel=%d)\n",
-		time.Since(start).Seconds(), *par)
+		time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 	fmt.Printf("Figure 3: normalized total benefit vs estimation accuracy ratio (%d trials, normalized to DP at x=0)\n", cfg.Trials)
 	if *csv {
 		var rows [][]string

@@ -100,13 +100,13 @@ func main() {
 		fmt.Println()
 	}
 	if doFigure {
-		start := time.Now()
+		start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 		res, err := exp.Figure2(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "casestudy: figure-2 sweep wall-clock %.2fs (parallel=%d)\n",
-			time.Since(start).Seconds(), *par)
+			time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 		fmt.Printf("Figure 2: normalized total weighted image quality, %gs horizon (normalized to the all-local baseline)\n", cfg.HorizonSeconds)
 		if err := exp.RenderFigure2(os.Stdout, res); err != nil {
 			fatal(err)
@@ -131,13 +131,13 @@ func main() {
 		}
 		fmt.Printf("deadline misses across all runs: %d\n", misses)
 		if *multi > 0 {
-			start := time.Now()
+			start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 			rows, err := exp.Figure2Multi(cfg, *multi)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "casestudy: multiseed wall-clock %.2fs (parallel=%d)\n",
-				time.Since(start).Seconds(), *par)
+				time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 			fmt.Printf("\nscenario means over %d seeds (Student-t 95%% CI):\n", *multi)
 			for _, r := range rows {
 				fmt.Printf("  %-9s %.3f ± %.3f\n", r.Scenario, r.Mean, r.CI95)

@@ -1,0 +1,58 @@
+// Command rtlint runs the repository's domain-specific lint suite:
+// four static analyzers (determinism, floatexact, overflowguard,
+// errsink) that machine-check the invariants the experiment engine
+// and the exact demand-analysis tiers rely on. See internal/analysis
+// for the rules and CONTRIBUTING.md for the directive syntax.
+//
+// rtlint is stdlib-only (go/parser + go/types over the module's
+// packages) and exits 1 on any finding, 2 on load/type errors.
+//
+// Usage:
+//
+//	rtlint [-dir module-root] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rtoffload/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module root to analyze")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	mod, err := analysis.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlint:", err)
+		os.Exit(2)
+	}
+	targets := analysis.DefaultTargets()
+	var diags []analysis.Diagnostic
+	for _, pkg := range mod.Packages {
+		diags = append(diags, analysis.RunPackage(pkg, targets)...)
+	}
+	for _, d := range diags {
+		// Report module-relative paths so output is stable across
+		// checkouts.
+		if rel, err := filepath.Rel(mod.Dir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rtlint: %d finding(s) across %d package(s)\n", len(diags), len(mod.Packages))
+		os.Exit(1)
+	}
+}

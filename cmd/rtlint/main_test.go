@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildRtlint compiles the linter once into a temp dir and returns
+// the binary path.
+func buildRtlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rtlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building rtlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSeededViolations runs the built linter against a temp module
+// holding one violation per analyzer and asserts the exact
+// diagnostics and the nonzero exit code.
+func TestSeededViolations(t *testing.T) {
+	bin := buildRtlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/exp/exp.go": `package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Dump(w io.Writer, m map[int]string) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d=%s\n", k, v)
+	}
+}
+`,
+		"internal/dbf/dbf.go": `package dbf
+
+func Demand(n, c int64) int64 { return n * c }
+
+func Feasible(a, b float64) bool { return a == b }
+`,
+	})
+
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got err=%v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+
+	text := string(out)
+	for _, want := range []string{
+		"internal/exp/exp.go:9:34: [determinism] time.Now reads the wall clock",
+		"internal/exp/exp.go:12:2: [determinism] map iteration order is nondeterministic",
+		"internal/exp/exp.go:13:3: [errsink] error result of fmt.Fprintf discarded",
+		"internal/dbf/dbf.go:3:42: [overflowguard] unchecked int64 multiplication",
+		"internal/dbf/dbf.go:5:45: [floatexact] float comparison in exact-arithmetic code",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\noutput:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "rtlint: 5 finding(s)") {
+		t.Errorf("output missing summary line\noutput:\n%s", text)
+	}
+}
+
+// TestCleanModule asserts a module whose only wall-clock read carries
+// a used directive exits 0 with no findings.
+func TestCleanModule(t *testing.T) {
+	bin := buildRtlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"cmd/tool/main.go": `package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback
+	work()
+	//rtlint:allow determinism -- wall-clock timer for operator feedback
+	elapsed := time.Since(start)
+	if _, err := fmt.Fprintln(os.Stderr, elapsed); err != nil {
+		os.Exit(1)
+	}
+}
+
+func work() {}
+`,
+	})
+
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("want exit 0, got %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "[") {
+		t.Errorf("unexpected findings:\n%s", out)
+	}
+}
+
+// TestStaleDirectiveFails asserts an unused directive is itself a
+// finding: exemptions cannot rot silently.
+func TestStaleDirectiveFails(t *testing.T) {
+	bin := buildRtlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/core/core.go": `package core
+
+//rtlint:allow determinism -- nothing here needs it
+func Pure(x int) int { return x + 1 }
+`,
+	})
+
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "suppresses nothing") {
+		t.Errorf("output missing stale-directive finding:\n%s", out)
+	}
+}

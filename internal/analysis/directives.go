@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an rtlint comment. The only verb is
+// "allow":
+//
+//	//rtlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory: an exemption must say why it is safe.
+const directivePrefix = "rtlint:"
+
+// directiveAnalyzer attributes directive problems in diagnostics.
+const directiveAnalyzer = "directive"
+
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	problem   string // non-empty: parse error, reported as a finding
+	used      bool
+}
+
+// DirectiveSet holds the parsed rtlint directives of one package and
+// tracks which of them actually suppressed a finding.
+type DirectiveSet struct {
+	// byLine maps filename -> line -> directives covering that line.
+	// A directive covers its own line and the one directly below it.
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// ParseDirectives scans every comment in files for rtlint directives.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *DirectiveSet {
+	s := &DirectiveSet{byLine: map[string]map[int][]*directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				d := parseDirective(text)
+				d.pos = fset.Position(c.Pos())
+				s.all = append(s.all, d)
+				lines := s.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = map[int][]*directive{}
+					s.byLine[d.pos.Filename] = lines
+				}
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+				lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+			}
+		}
+	}
+	return s
+}
+
+// directiveText strips the comment markers and reports whether the
+// comment is an rtlint directive.
+func directiveText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = comment[2:]
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(comment[2:], "*/")
+	default:
+		return "", false
+	}
+	if !strings.HasPrefix(body, directivePrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(body, directivePrefix), true
+}
+
+func parseDirective(text string) *directive {
+	d := &directive{}
+	rest, ok := strings.CutPrefix(text, "allow")
+	if !ok {
+		d.problem = "unknown rtlint directive verb; only //rtlint:allow is defined"
+		return d
+	}
+	names, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		d.problem = "rtlint:allow directive needs a reason: //rtlint:allow <analyzer> -- <reason>"
+		return d
+	}
+	// Golden-test files embed "// want" expectations in the same line
+	// comment; they are not part of the reason.
+	if want := strings.Index(reason, "// want"); want >= 0 {
+		reason = reason[:want]
+	}
+	d.reason = strings.TrimSpace(reason)
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			d.problem = "rtlint:allow names unknown analyzer " + name
+			return d
+		}
+		d.analyzers = append(d.analyzers, name)
+	}
+	if len(d.analyzers) == 0 {
+		d.problem = "rtlint:allow directive names no analyzer"
+	}
+	return d
+}
+
+// Allows reports whether a directive covers (analyzer, pos), marking
+// the directive used.
+func (s *DirectiveSet) Allows(analyzer string, pos token.Position) bool {
+	allowed := false
+	for _, d := range s.byLine[pos.Filename][pos.Line] {
+		if d.problem != "" {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == analyzer {
+				d.used = true
+				allowed = true
+			}
+		}
+	}
+	return allowed
+}
+
+// Problems reports malformed directives and directives that
+// suppressed nothing, so no exemption can outlive the code it
+// excused.
+func (s *DirectiveSet) Problems() []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range s.all {
+		switch {
+		case d.problem != "":
+			diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: directiveAnalyzer, Message: d.problem})
+		case !d.used:
+			diags = append(diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: directiveAnalyzer,
+				Message:  "rtlint:allow " + strings.Join(d.analyzers, ",") + " suppresses nothing; delete the stale directive",
+			})
+		}
+	}
+	return diags
+}

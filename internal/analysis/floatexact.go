@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatExact guards the exact demand-arithmetic tier ladder
+// (int64 fracs → big.Int → big.Rat): a single float64 round-trip can
+// flip a Theorem 1–3 schedulability verdict near the feasibility
+// boundary, so exact-analysis code must not convert to, extract, or
+// compare floating-point values. Benefit-objective code (weights are
+// floats by design) lives outside this analyzer's scope or carries an
+// explicit directive.
+var FloatExact = &Analyzer{
+	Name: "floatexact",
+	Doc:  "forbid float conversions, math/big float extractions, and float comparisons in exact-analysis code",
+	Run:  runFloatExact,
+}
+
+func runFloatExact(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFloatConversion(pass, n)
+				checkBigFloatExtraction(pass, n)
+			case *ast.BinaryExpr:
+				checkFloatComparison(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func checkFloatConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isFloat(tv.Type) {
+		return
+	}
+	pass.Reportf(call.Pos(), "conversion to %s in exact-arithmetic code loses exactness; stay on the int64/big.Int/big.Rat ladder, or annotate with //rtlint:allow floatexact -- <reason>",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+}
+
+func checkBigFloatExtraction(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/big" {
+		return
+	}
+	if name := fn.Name(); name == "Float64" || name == "Float32" {
+		pass.Reportf(call.Pos(), "(%s).%s extracts a rounded float from an exact value; compare with Cmp or keep the big.Rat, or annotate with //rtlint:allow floatexact -- <reason>",
+			types.TypeString(fn.Type().(*types.Signature).Recv().Type(), types.RelativeTo(pass.Pkg)), name)
+	}
+}
+
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+func checkFloatComparison(pass *Pass, e *ast.BinaryExpr) {
+	if !comparisonOps[e.Op] {
+		return
+	}
+	tx, ty := pass.Info.TypeOf(e.X), pass.Info.TypeOf(e.Y)
+	if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+		return
+	}
+	pass.Reportf(e.OpPos, "float comparison in exact-arithmetic code (rounding near the feasibility boundary flips verdicts); compare exact values, or annotate with //rtlint:allow floatexact -- <reason>")
+}

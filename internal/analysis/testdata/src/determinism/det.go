@@ -1,0 +1,70 @@
+// Package det seeds determinism violations and the allowed idioms
+// next to them. The golden harness loads it as if it lived in
+// internal/exp, an output-producing package.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func epoch() time.Time {
+	return time.Unix(0, 0) // pure function of its inputs: allowed
+}
+
+func draw() int {
+	return rand.Intn(6) // want "math/rand.Intn draws from the process-global random source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the process-global random source"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicitly seeded generator: allowed
+	return r.Intn(6)
+}
+
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//rtlint:allow determinism -- keys are collected and sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs { // ranging a slice is ordered: allowed
+		total += x
+	}
+	return total
+}
+
+func allowedClock() time.Time {
+	//rtlint:allow determinism -- wall-clock timer in a demo
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Package detscope contains only a map range. The golden harness
+// loads it as internal/core — not an output-producing package — and
+// expects silence: the map-range rule is scoped to packages whose
+// results reach rendered output.
+package detscope
+
+func keys(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

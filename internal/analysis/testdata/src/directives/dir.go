@@ -1,0 +1,30 @@
+// Package directives seeds malformed and stale rtlint directives.
+// The golden harness loads it as internal/exp and runs the
+// determinism analyzer; directive problems are reported regardless of
+// which analyzers run.
+package directives
+
+import "time"
+
+func missingReason() time.Time {
+	//rtlint:allow determinism // want "needs a reason"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func unknownAnalyzer() time.Time {
+	//rtlint:allow nosuchcheck -- misspelled // want "unknown analyzer nosuchcheck"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func unknownVerb() {
+	//rtlint:deny determinism -- no such verb // want "unknown rtlint directive verb"
+}
+
+func stale(xs []int) int {
+	//rtlint:allow determinism -- nothing nondeterministic below // want "suppresses nothing"
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+// Package es seeds errsink violations and the acknowledged or
+// infallible idioms that must stay silent. The golden harness loads
+// it as internal/exp (a library package).
+package es
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func unchecked(w io.Writer) {
+	fmt.Fprintf(w, "x")    // want "error result of fmt.Fprintf discarded"
+	fmt.Fprintln(w, "y")   // want "error result of fmt.Fprintln discarded"
+	io.WriteString(w, "z") // want "error result of io.WriteString discarded"
+	w.Write([]byte("w"))   // want "error result of \(io.Writer\).Write discarded"
+}
+
+func buffered(buf *bytes.Buffer, sb *strings.Builder) {
+	buf.WriteString("ok") // bytes.Buffer never returns an error: allowed
+	sb.WriteString("ok")  // strings.Builder never returns an error: allowed
+}
+
+func acknowledged(w io.Writer) {
+	_, _ = fmt.Fprintf(w, "x") // explicit drop is visible intent: allowed
+}
+
+func propagated(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "x")
+	return err
+}
+
+func allowed(w io.Writer) {
+	//rtlint:allow errsink -- best-effort diagnostics on stderr
+	fmt.Fprintln(w, "x")
+}

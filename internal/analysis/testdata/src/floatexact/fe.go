@@ -1,0 +1,39 @@
+// Package fe seeds floatexact violations and the exact idioms that
+// must stay silent. The golden harness loads it as internal/dbf.
+package fe
+
+import "math/big"
+
+func toFloat(x int64) float64 {
+	return float64(x) // want "conversion to float64"
+}
+
+func toF32(x int) float32 {
+	return float32(x) // want "conversion to float32"
+}
+
+func extract(r *big.Rat) float64 {
+	f, _ := r.Float64() // want "extracts a rounded float"
+	return f
+}
+
+func compare(a float64) bool {
+	return a < 1.5 // want "float comparison in exact-arithmetic code"
+}
+
+func equal(a, b float64) bool {
+	return a == b // want "float comparison in exact-arithmetic code"
+}
+
+func intCompare(a, b int64) bool {
+	return a < b // exact comparison: allowed
+}
+
+func ratCompare(a, b *big.Rat) bool {
+	return a.Cmp(b) < 0 // exact comparison: allowed
+}
+
+func allowed(x int64) float64 {
+	//rtlint:allow floatexact -- reporting layer needs a display float
+	return float64(x)
+}

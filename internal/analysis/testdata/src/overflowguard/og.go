@@ -1,0 +1,55 @@
+// Package og seeds overflowguard violations and the bounded idioms
+// that must stay silent. The golden harness loads it as internal/dbf.
+package og
+
+import "rtoffload/internal/rtime"
+
+func product(c rtime.Duration, n int64) rtime.Duration {
+	return c * rtime.Duration(n) // want "rtime.Duration multiplication can wrap int64"
+}
+
+func rawMul(a, b int64) int64 {
+	return a * b // want "int64 multiplication can wrap int64"
+}
+
+func scale(x int64) int64 {
+	return x << 3 // want "int64 left shift can wrap int64"
+}
+
+func scaleAssign(x rtime.Duration) rtime.Duration {
+	x *= 2 // want "rtime.Duration \*= can wrap int64"
+	return x
+}
+
+func sumDerived(ds []rtime.Duration, t rtime.Duration) rtime.Duration {
+	var sum rtime.Duration
+	for range ds {
+		sum += dbfOf(t) // want "rtime.Duration \+= of a derived demand value"
+	}
+	return sum
+}
+
+func addDerived(t rtime.Duration) rtime.Duration {
+	return dbfOf(t) + dbfOf(t) // want "rtime.Duration addition of derived demand values"
+}
+
+func dbfOf(t rtime.Duration) rtime.Duration { return t }
+
+func plainSum(c1, c2 rtime.Duration) rtime.Duration {
+	return c1 + c2 // plain parameter sum, bounded by validation: allowed
+}
+
+func chainedPlainSum(t, d, d1, r rtime.Duration) rtime.Duration {
+	return t - d + d1 + r // still no derived operand: allowed
+}
+
+func intIndex(i int) int {
+	return 2*i + 1 // int (not int64) heap index arithmetic: allowed
+}
+
+const grid = 8 << 10 // constant-folded, checked by the compiler: allowed
+
+func allowed(c rtime.Duration) rtime.Duration {
+	//rtlint:allow overflowguard -- 20 spacings of validated config, far below the int64 horizon
+	return 20 * c
+}

@@ -78,6 +78,7 @@ func EstimateBudgets(srv server.Server, set task.Set, cfg EstimatorConfig) error
 			// Idle gap between batches lets the server queue drain so
 			// each level measures steady state, not the previous
 			// batch's backlog tail.
+			//rtlint:allow overflowguard -- 20 probe spacings of validated config, far below the int64 horizon
 			clock = clock.Add(20 * cfg.Spacing)
 			if len(lats) > 0 {
 				t.Levels[j].Response = cfg.budgetFrom(lats)
@@ -112,6 +113,7 @@ func EstimateBudgetsRouted(def server.Server, servers map[string]server.Server, 
 			}
 			var lats []rtime.Duration
 			lats, clocks[id] = server.ProbeFrom(srv, clocks[id], cfg.Probes, t.Levels[j].PayloadBytes, cfg.Spacing)
+			//rtlint:allow overflowguard -- 20 probe spacings of validated config, far below the int64 horizon
 			clocks[id] = clocks[id].Add(20 * cfg.Spacing)
 			if len(lats) > 0 {
 				t.Levels[j].Response = cfg.budgetFrom(lats)

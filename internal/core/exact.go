@@ -117,6 +117,7 @@ func improveLoop(out *Decision, az *dbf.Analyzer, levelDemands [][]dbf.Demand) {
 			}
 			for lv := from + 1; lv < len(t.Levels); lv++ {
 				gain := t.EffectiveWeight()*t.Levels[lv].Benefit - cur
+				//rtlint:allow floatexact -- benefit objective is float64 by design; exactness guards time arithmetic only
 				if gain <= bestGain {
 					continue
 				}

@@ -77,8 +77,8 @@ func newDemandStat(d Demand) (demandStat, bool) {
 // larger of the two alignment constants, both over denominator T.
 func offloadedStat(o Offloaded) (demandStat, bool) {
 	t := int64(o.T)
-	cs := int64(o.C1) + int64(o.C2)
-	if cs < 0 {
+	cs, ok := add64(int64(o.C1), int64(o.C2))
+	if !ok {
 		return demandStat{}, false
 	}
 	a1, ok := mul64(int64(o.C1), int64(o.T-o.D1))
@@ -89,8 +89,8 @@ func offloadedStat(o Offloaded) (demandStat, bool) {
 	if !ok {
 		return demandStat{}, false
 	}
-	a := a1 + a2
-	if a < 0 {
+	a, ok := add64(a1, a2)
+	if !ok {
 		return demandStat{}, false
 	}
 	b1, ok := mul64(int64(o.C2), int64(o.T-o.D+o.D1+o.R))
@@ -101,8 +101,8 @@ func offloadedStat(o Offloaded) (demandStat, bool) {
 	if !ok {
 		return demandStat{}, false
 	}
-	b := b1 + b2
-	if b < 0 {
+	b, ok := add64(b1, b2)
+	if !ok {
 		return demandStat{}, false
 	}
 	bn := a

@@ -21,6 +21,7 @@ package dbf
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 	"sort"
 
@@ -49,30 +50,42 @@ type Demand interface {
 }
 
 // count returns the number of deadlines at offsets off, off+T,
-// off+2T, … that are ≤ t (zero when t < off).
+// off+2T, … that are ≤ t (zero when t < off), saturated at the int64
+// ceiling.
 func count(t, off, period rtime.Duration) int64 {
 	if t < off {
 		return 0
 	}
-	return rtime.FloorDiv(t-off, period) + 1
+	n := rtime.FloorDiv(t-off, period)
+	if n == math.MaxInt64 {
+		return n // a window at the int64 horizon with a 1µs period
+	}
+	return n + 1
 }
 
 // stepsForOffset appends the steps off, off+T, … ≤ limit to dst.
 func stepsForOffset(dst []rtime.Duration, off, period, limit rtime.Duration) []rtime.Duration {
-	for s := off; s <= limit; s += period {
+	for s := off; s <= limit; {
 		dst = append(dst, s)
+		next := addDur(s, period)
+		if next <= s {
+			break // saturated at the int64 ceiling
+		}
+		s = next
 	}
 	return dst
 }
 
 // prevForOffset returns the largest value of off+kT (k ≥ 0) strictly
-// below t, or 0.
+// below t, or 0. The checked helpers cannot actually saturate here —
+// k·T ≤ t−off−1 by construction — but keep the arithmetic uniformly
+// guarded.
 func prevForOffset(t, off, period rtime.Duration) rtime.Duration {
 	if t <= off {
 		return 0
 	}
 	k := rtime.FloorDiv(t-off-1, period)
-	return off + rtime.Duration(k)*period
+	return addDur(off, mulDur(period, k))
 }
 
 // Sporadic is the demand of a sporadic task with WCET C, relative
@@ -95,9 +108,9 @@ func NewSporadic(c, d, t rtime.Duration) (Sporadic, error) {
 }
 
 // DBF implements the classic sporadic demand bound
-// max(0, ⌊(t−D)/T⌋+1)·C.
+// max(0, ⌊(t−D)/T⌋+1)·C, saturating instead of wrapping on overflow.
 func (s Sporadic) DBF(t rtime.Duration) rtime.Duration {
-	return rtime.Duration(count(t, s.D, s.T)) * s.C
+	return mulDur(s.C, count(t, s.D, s.T))
 }
 
 // Rate returns C/T.
@@ -145,7 +158,17 @@ func SplitDeadline(c1, c2, d, r rtime.Duration) (rtime.Duration, error) {
 	if d-r <= 0 {
 		return 0, fmt.Errorf("dbf: response budget %v leaves no slack before deadline %v", r, d)
 	}
-	d1 := rtime.Duration(int64(c1) * int64(d-r) / int64(c1+c2))
+	den, ok := add64(int64(c1), int64(c2))
+	if !ok {
+		return 0, fmt.Errorf("dbf: setup+compensation WCETs overflow int64 (C1=%v, C2=%v)", c1, c2)
+	}
+	// 128-bit intermediate; the quotient fits int64 because C1 < C1+C2
+	// implies D1 < D−R.
+	q, ok := mulDiv64(int64(c1), int64(d-r), den)
+	if !ok {
+		return 0, fmt.Errorf("dbf: split deadline overflows int64 (C1=%v, D−R=%v)", c1, d-r)
+	}
+	d1 := rtime.Duration(q)
 	if d1 <= 0 {
 		return 0, fmt.Errorf("dbf: split deadline underflows the time grid (C1=%v, D−R=%v, C1+C2=%v)", c1, d-r, c1+c2)
 	}
@@ -190,10 +213,10 @@ func (o Offloaded) DBF(t rtime.Duration) rtime.Duration {
 	if t <= 0 {
 		return 0
 	}
-	a := rtime.Duration(count(t, o.D1, o.T))*o.C1 +
-		rtime.Duration(count(t, o.D, o.T))*o.C2
-	b := rtime.Duration(count(t, o.D-o.D1-o.R, o.T))*o.C2 +
-		rtime.Duration(count(t, o.T-o.R, o.T))*o.C1
+	a := addDur(mulDur(o.C1, count(t, o.D1, o.T)),
+		mulDur(o.C2, count(t, o.D, o.T)))
+	b := addDur(mulDur(o.C2, count(t, o.D-o.D1-o.R, o.T)),
+		mulDur(o.C1, count(t, o.T-o.R, o.T)))
 	return rtime.Max(a, b)
 }
 
@@ -305,11 +328,12 @@ func dedupSorted(xs []rtime.Duration) []rtime.Duration {
 	return out
 }
 
-// TotalDBF sums the demands at window length t.
+// TotalDBF sums the demands at window length t, saturating at the
+// int64 ceiling instead of wrapping.
 func TotalDBF(ds []Demand, t rtime.Duration) rtime.Duration {
 	var sum rtime.Duration
 	for _, d := range ds {
-		sum += d.DBF(t)
+		sum = addDur(sum, d.DBF(t))
 	}
 	return sum
 }

@@ -42,6 +42,55 @@ func mul64(a, b int64) (int64, bool) {
 	return int64(lo), true
 }
 
+// add64 adds two non-negative int64s, reporting overflow.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if s < 0 {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulDiv64 returns ⌊a·b/den⌋ for non-negative a, b and positive den
+// with a 128-bit intermediate, so the product itself can never wrap;
+// ok=false when the quotient exceeds int64 range.
+func mulDiv64(a, b, den int64) (int64, bool) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi >= uint64(den) {
+		return 0, false
+	}
+	q, _ := bits.Div64(hi, lo, uint64(den))
+	if q > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(q), true
+}
+
+// mulDur returns k·c saturated at the int64 ceiling, for k ≥ 0 and
+// c ≥ 0. Saturation is conservative in demand arithmetic: an
+// overflowing demand reads as "infinite", so a window that would have
+// wrapped into a feasible-looking value instead fails the test.
+func mulDur(c rtime.Duration, k int64) rtime.Duration {
+	if k <= 0 || c <= 0 {
+		return 0
+	}
+	hi, lo := bits.Mul64(uint64(k), uint64(c))
+	if hi != 0 || lo > math.MaxInt64 {
+		return rtime.Duration(math.MaxInt64)
+	}
+	return rtime.Duration(lo)
+}
+
+// addDur returns a+b saturated at the int64 ceiling, for non-negative
+// a and b.
+func addDur(a, b rtime.Duration) rtime.Duration {
+	s := a + b
+	if s < 0 {
+		return rtime.Duration(math.MaxInt64)
+	}
+	return s
+}
+
 // add adds two fracs, reporting ok=false on int64 overflow.
 func (f frac) add(o frac) (frac, bool) { return f.combine(o, false) }
 
@@ -143,10 +192,12 @@ func horizonFromRats(rate, burst *big.Rat) (rtime.Duration, error) {
 	}
 	den := new(big.Rat).Sub(one, rate)
 	h := new(big.Rat).Quo(burst, den)
-	// Round up to the next microsecond; a zero burst means demand never
-	// exceeds rate·t < t, so any positive horizon works.
-	f, _ := h.Float64()
-	if f < 1 {
+	// Round up to the next microsecond. Any horizon below one
+	// microsecond (including a zero burst, where demand never exceeds
+	// rate·t < t) rounds up to the minimum positive horizon; the
+	// comparison is exact — a float round-trip here could misclassify
+	// a bound within one ulp of 1.
+	if h.Cmp(one) < 0 {
 		return 1, nil
 	}
 	num := new(big.Int).Set(h.Num())

@@ -91,6 +91,7 @@ func EnergyStudy(cfg CaseStudyConfig, pm sched.PowerModel) ([]EnergyRow, error) 
 		if locE.Joules > 0 {
 			row.Savings = 1 - offE.Joules/locE.Joules
 		}
+		//rtlint:allow determinism -- integer sums over all entries are order-insensitive
 		for _, st := range off.PerTask {
 			row.Hits += st.Hits
 			row.Comps += st.Compensations

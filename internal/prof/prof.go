@@ -36,6 +36,7 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
+				//rtlint:allow errsink -- best-effort diagnostic on stderr; nowhere to propagate from a cleanup func
 				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
 			}
 		}
@@ -44,12 +45,14 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 		}
 		memFile, err := os.Create(memPath)
 		if err != nil {
+			//rtlint:allow errsink -- best-effort diagnostic on stderr; nowhere to propagate from a cleanup func
 			fmt.Fprintln(os.Stderr, "prof:", err)
 			return
 		}
 		defer memFile.Close()
 		runtime.GC() // settle live objects so the heap profile is sharp
 		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			//rtlint:allow errsink -- best-effort diagnostic on stderr; nowhere to propagate from a cleanup func
 			fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
 		}
 	}, nil

@@ -46,13 +46,16 @@ func RenderGantt(w io.Writer, tr *Trace, from, to rtime.Instant, width int) erro
 		idset[s.Sub.TaskID] = true
 	}
 	ids := make([]int, 0, len(idset))
+	//rtlint:allow determinism -- keys are collected and sorted before any output
 	for id := range idset {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 
 	// Header with a few time ticks.
-	fmt.Fprintf(w, "gantt [%v … %v), %v per column\n", from, to, cell)
+	if _, err := fmt.Fprintf(w, "gantt [%v … %v), %v per column\n", from, to, cell); err != nil {
+		return err
+	}
 	for _, id := range ids {
 		row := make([]byte, width)
 		for i := range row {
@@ -116,10 +119,12 @@ func RenderGantt(w io.Writer, tr *Trace, from, to rtime.Instant, width int) erro
 				}
 			}
 		}
-		fmt.Fprintf(w, "τ%-3d %s\n", id, string(row))
+		if _, err := fmt.Fprintf(w, "τ%-3d %s\n", id, string(row)); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w, strings.Repeat(" ", 5)+legend())
-	return nil
+	_, err := fmt.Fprintln(w, strings.Repeat(" ", 5)+legend())
+	return err
 }
 
 func legend() string {
