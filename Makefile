@@ -3,7 +3,10 @@ GO ?= go
 # The demand-analysis micro-benchmarks tracked in BENCH_2.json.
 MICROBENCH = BenchmarkQPA$$|BenchmarkImproveWithExact|BenchmarkAdmissionChurn
 
-.PHONY: build test vet race verify lint bench bench-all profile fmt fmt-check
+# The scheduler-engine benchmarks tracked in BENCH_4.json.
+SCHEDBENCH = BenchmarkSchedSplitEDF|BenchmarkSchedNaiveEDF|BenchmarkSchedAbortAtDeadline|BenchmarkFigure2$$
+
+.PHONY: build test vet race verify lint bench bench-sched bench-all bench-smoke profile fmt fmt-check
 
 build:
 	$(GO) build ./...
@@ -37,9 +40,21 @@ bench:
 	$(GO) run ./cmd/benchjson -label current -merge BENCH_2.json < BENCH_2.txt > BENCH_2.json.tmp
 	mv BENCH_2.json.tmp BENCH_2.json
 
+# Scheduler-engine benchmarks, recorded like `bench`: text in
+# BENCH_4.txt, a JSON session appended to BENCH_4.json (which already
+# holds the pre-event-calendar baseline entry — do not overwrite it).
+bench-sched:
+	$(GO) test -run='^$$' -bench='$(SCHEDBENCH)' -benchmem -count=5 . | tee BENCH_4.txt
+	$(GO) run ./cmd/benchjson -label current -merge BENCH_4.json < BENCH_4.txt > BENCH_4.json.tmp
+	mv BENCH_4.json.tmp BENCH_4.json
+
 # Smoke-run every benchmark once (no timing value, just liveness).
 bench-all:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# CI alias for bench-all: every benchmark must still run to completion
+# on one iteration, catching bit-rot without paying for timing runs.
+bench-smoke: bench-all
 
 # Capture CPU+heap profiles of the benchmarks and of an ablations run;
 # inspect with e.g.

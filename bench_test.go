@@ -7,6 +7,7 @@
 package rtoffload_test
 
 import (
+	"fmt"
 	"testing"
 
 	"rtoffload/internal/core"
@@ -205,6 +206,95 @@ func BenchmarkEDFSimulator(b *testing.B) {
 		jobs = len(res.Jobs)
 	}
 	b.ReportMetric(float64(jobs), "jobs/run")
+}
+
+// benchSchedAssignments builds a deterministic n-task system for the
+// scheduler micro-benchmarks: a mix of local and offloaded tasks whose
+// budgets straddle the fixed server latency, so the hit,
+// compensation, and preemption paths are all exercised. `util` is the
+// nominal total local utilization (above 1 = overload).
+func benchSchedAssignments(n int, util float64) []sched.Assignment {
+	asgs := make([]sched.Assignment, 0, n)
+	for i := 0; i < n; i++ {
+		period := rtime.FromMillis(int64(20 + 15*(i%10)))
+		c := rtime.Duration(util / float64(n) * float64(period))
+		if c < 4 {
+			c = 4
+		}
+		tk := &task.Task{
+			ID: i, Period: period, Deadline: period,
+			LocalWCET: c, LocalBenefit: 1,
+		}
+		if i%3 == 0 {
+			asgs = append(asgs, sched.Assignment{Task: tk})
+			continue
+		}
+		tk.Setup = c/4 + 1
+		tk.Compensation = c
+		tk.PostProcess = c / 8
+		tk.Levels = []task.Level{{Response: period / 3, Benefit: 2}}
+		asgs = append(asgs, sched.Assignment{Task: tk, Offload: true})
+	}
+	return asgs
+}
+
+// benchSchedRun is the shared body of the scheduler engine benchmarks:
+// one op = one full sched.Run over a 2 s horizon.
+func benchSchedRun(b *testing.B, n int, util float64, policy sched.Policy, onMiss sched.MissPolicy, rec bool) {
+	cfg := sched.Config{
+		Assignments: benchSchedAssignments(n, util),
+		Server:      server.Fixed{Latency: rtime.FromMillis(20)},
+		Horizon:     rtime.FromSeconds(2),
+		Policy:      policy,
+		OnMiss:      onMiss,
+		RecordTrace: rec,
+	}
+	var jobs int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = len(res.Jobs)
+	}
+	b.ReportMetric(float64(jobs), "jobs/run")
+}
+
+// benchSchedMatrix fans one policy/miss combination out over the
+// 10-/100-task and trace-on/off grid of the engine benchmarks.
+func benchSchedMatrix(b *testing.B, util float64, policy sched.Policy, onMiss sched.MissPolicy) {
+	for _, n := range []int{10, 100} {
+		for _, rec := range []bool{false, true} {
+			name := fmt.Sprintf("tasks=%d/notrace", n)
+			if rec {
+				name = fmt.Sprintf("tasks=%d/trace", n)
+			}
+			b.Run(name, func(b *testing.B) {
+				benchSchedRun(b, n, util, policy, onMiss, rec)
+			})
+		}
+	}
+}
+
+// BenchmarkSchedSplitEDF measures the engine on the paper's policy at
+// a feasible load: the hot path of every Figure-2/3 sweep.
+func BenchmarkSchedSplitEDF(b *testing.B) {
+	benchSchedMatrix(b, 0.75, sched.SplitEDF, sched.ContinueLate)
+}
+
+// BenchmarkSchedNaiveEDF measures the naive-EDF baseline used by the
+// §5.1 ablation.
+func BenchmarkSchedNaiveEDF(b *testing.B) {
+	benchSchedMatrix(b, 0.75, sched.NaiveEDF, sched.ContinueLate)
+}
+
+// BenchmarkSchedAbortAtDeadline measures the firm-deadline overload
+// path: a 1.3-utilization system whose jobs are continually aborted,
+// stressing the deadline calendar.
+func BenchmarkSchedAbortAtDeadline(b *testing.B) {
+	benchSchedMatrix(b, 1.3, sched.SplitEDF, sched.AbortAtDeadline)
 }
 
 // BenchmarkTheorem3 measures the exact rational schedulability test on

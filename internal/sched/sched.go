@@ -11,16 +11,22 @@
 // deadline is the job's original release + Di. All ready sub-jobs are
 // dispatched by plain EDF over their absolute deadlines.
 //
-// The simulator is event-driven and exact on the microsecond grid, can
-// record full execution traces for the invariant checkers in package
-// trace, and also implements the naive-EDF baseline the paper argues
-// against (both phases sharing the absolute deadline release+Di).
+// The simulator is an event-calendar engine: pending releases, wake
+// timers, and (under AbortAtDeadline) job deadlines live in typed
+// index-tracked min-heaps (package eventq), so every scheduling event
+// costs O(log n) and the steady state allocates nothing — job records
+// are recycled through a free list. It is event-driven and exact on
+// the microsecond grid, can record full execution traces for the
+// invariant checkers in package trace, and also implements the
+// naive-EDF baseline the paper argues against (both phases sharing
+// the absolute deadline release+Di). engine_probe_test.go and the
+// differential tests in diff_test.go pin the engine to the retained
+// reference dispatcher (reference_test.go): same Result, same
+// per-task statistics, same traces, on every policy.
 package sched
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"rtoffload/internal/dbf"
 	"rtoffload/internal/rtime"
@@ -127,6 +133,47 @@ type Config struct {
 	// CollectLatencies stores every job's response time per task,
 	// enabling Result.LatencyPercentile.
 	CollectLatencies bool
+}
+
+// validate checks the configuration ahead of a run; shared by the
+// engine and the retained reference dispatcher.
+func (cfg *Config) validate() error {
+	if cfg.Horizon <= 0 {
+		return fmt.Errorf("sched: horizon %v must be positive", cfg.Horizon)
+	}
+	if len(cfg.Assignments) == 0 {
+		return fmt.Errorf("sched: no assignments")
+	}
+	ids := map[int]bool{}
+	for i := range cfg.Assignments {
+		a := &cfg.Assignments[i]
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if ids[a.Task.ID] {
+			return fmt.Errorf("sched: duplicate task %d", a.Task.ID)
+		}
+		ids[a.Task.ID] = true
+		if a.Offload {
+			if id := a.Task.Levels[a.Level].ServerID; id != "" {
+				if cfg.Servers[id] == nil {
+					return fmt.Errorf("sched: task %d level %d routes to unknown server %q", a.Task.ID, a.Level, id)
+				}
+			} else if cfg.Server == nil {
+				return fmt.Errorf("sched: offloaded assignments require a server")
+			}
+		}
+	}
+	if cfg.ReleaseJitter > 0 && cfg.RNG == nil {
+		return fmt.Errorf("sched: release jitter requires an RNG")
+	}
+	if cfg.Policy != SplitEDF && cfg.Policy != NaiveEDF && cfg.Policy != FixedPriority {
+		return fmt.Errorf("sched: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.OnMiss != ContinueLate && cfg.OnMiss != AbortAtDeadline {
+		return fmt.Errorf("sched: unknown miss policy %d", int(cfg.OnMiss))
+	}
+	return nil
 }
 
 // MissPolicy controls what happens when a job reaches its absolute
@@ -238,126 +285,19 @@ func (r *Result) NormalizedBenefit() float64 {
 	return r.TotalBenefit / r.TotalBaseline
 }
 
-// jobPhase is the execution state of a job.
-type jobPhase int
-
-const (
-	phaseFirst     jobPhase = iota // Local or Setup sub-job on the CPU
-	phaseSuspended                 // waiting for server result / timer
-	phaseSecond                    // Post or Comp sub-job on the CPU
-	phaseDone
-)
-
-type jobState struct {
-	asg      *Assignment
-	seq      int64
-	release  rtime.Instant
-	deadline rtime.Instant // release + D
-
-	phase       jobPhase
-	kind        trace.Kind    // current sub-job kind
-	subDeadline rtime.Instant // current sub-job EDF deadline
-	subRelease  rtime.Instant
-	wcet        rtime.Duration
-	remaining   rtime.Duration
-
-	// prio is the dispatch key: the sub-job's absolute deadline under
-	// the EDF policies, the task's fixed rank under FixedPriority.
-	prio int64
-
-	wake    rtime.Instant // for phaseSuspended
-	hit     bool          // result arrived within budget
-	aborted bool          // discarded by AbortAtDeadline
-
-	heapIdx int
-}
-
-// readyQueue orders runnable sub-jobs by (priority, task ID, seq).
-type readyQueue []*jobState
-
-func (q readyQueue) Len() int { return len(q) }
-func (q readyQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
-	if a.prio != b.prio {
-		return a.prio < b.prio
-	}
-	if a.asg.Task.ID != b.asg.Task.ID {
-		return a.asg.Task.ID < b.asg.Task.ID
-	}
-	return a.seq < b.seq
-}
-func (q readyQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].heapIdx = i
-	q[j].heapIdx = j
-}
-func (q *readyQueue) Push(x interface{}) {
-	j := x.(*jobState)
-	j.heapIdx = len(*q)
-	*q = append(*q, j)
-}
-func (q *readyQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
-}
-
-// wakeQueue orders suspended jobs by wake instant.
-type wakeQueue []*jobState
-
-func (q wakeQueue) Len() int            { return len(q) }
-func (q wakeQueue) Less(i, j int) bool  { return q[i].wake < q[j].wake }
-func (q wakeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *wakeQueue) Push(x interface{}) { *q = append(*q, x.(*jobState)) }
-func (q *wakeQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
-}
-
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("sched: horizon %v must be positive", cfg.Horizon)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if len(cfg.Assignments) == 0 {
-		return nil, fmt.Errorf("sched: no assignments")
-	}
-	ids := map[int]bool{}
-	for i := range cfg.Assignments {
-		a := &cfg.Assignments[i]
-		if err := a.Validate(); err != nil {
-			return nil, err
-		}
-		if ids[a.Task.ID] {
-			return nil, fmt.Errorf("sched: duplicate task %d", a.Task.ID)
-		}
-		ids[a.Task.ID] = true
-		if a.Offload {
-			if id := a.Task.Levels[a.Level].ServerID; id != "" {
-				if cfg.Servers[id] == nil {
-					return nil, fmt.Errorf("sched: task %d level %d routes to unknown server %q", a.Task.ID, a.Level, id)
-				}
-			} else if cfg.Server == nil {
-				return nil, fmt.Errorf("sched: offloaded assignments require a server")
-			}
-		}
-	}
-	if cfg.ReleaseJitter > 0 && cfg.RNG == nil {
-		return nil, fmt.Errorf("sched: release jitter requires an RNG")
-	}
-	if cfg.Policy != SplitEDF && cfg.Policy != NaiveEDF && cfg.Policy != FixedPriority {
-		return nil, fmt.Errorf("sched: unknown policy %d", int(cfg.Policy))
-	}
-	if cfg.OnMiss != ContinueLate && cfg.OnMiss != AbortAtDeadline {
-		return nil, fmt.Errorf("sched: unknown miss policy %d", int(cfg.OnMiss))
-	}
+	s := newSim(&cfg)
+	s.run()
+	return s.res, nil
+}
 
-	s := &sim{cfg: &cfg, res: &Result{
+// newSim builds an engine for a validated configuration.
+func newSim(cfg *Config) *sim {
+	s := &sim{cfg: cfg, res: &Result{
 		PerTask: make(map[int]*TaskStats, len(cfg.Assignments)),
 		Horizon: cfg.Horizon,
 		Policy:  cfg.Policy,
@@ -365,404 +305,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.RecordTrace {
 		s.res.Trace = &trace.Trace{}
 	}
-	s.run()
-	return s.res, nil
-}
-
-type sim struct {
-	cfg *Config
-	res *Result
-
-	now    rtime.Instant
-	ready  readyQueue
-	waking wakeQueue
-
-	// nextRelease[i] is the next release instant for assignment i.
-	nextRelease []rtime.Instant
-	seq         []int64
-	// rank[taskID] is the deadline-monotonic priority under
-	// FixedPriority (lower = more urgent).
-	rank map[int]int64
-	// deadlines orders live jobs by absolute deadline for the
-	// AbortAtDeadline policy (lazy deletion).
-	deadlines deadlineQueue
-}
-
-// deadlineQueue is a min-heap over job absolute deadlines.
-type deadlineQueue []*jobState
-
-func (q deadlineQueue) Len() int            { return len(q) }
-func (q deadlineQueue) Less(i, j int) bool  { return q[i].deadline < q[j].deadline }
-func (q deadlineQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *deadlineQueue) Push(x interface{}) { *q = append(*q, x.(*jobState)) }
-func (q *deadlineQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
-}
-
-// prioOf computes a job's dispatch key under the configured policy.
-func (s *sim) prioOf(j *jobState) int64 {
-	if s.cfg.Policy == FixedPriority {
-		return s.rank[j.asg.Task.ID]
-	}
-	return int64(j.subDeadline)
-}
-
-func (s *sim) run() {
-	cfg := s.cfg
-	s.nextRelease = make([]rtime.Instant, len(cfg.Assignments))
-	s.seq = make([]int64, len(cfg.Assignments))
-	for i := range cfg.Assignments {
-		t := cfg.Assignments[i].Task
-		s.res.PerTask[t.ID] = &TaskStats{TaskID: t.ID}
-	}
-	if cfg.Policy == FixedPriority {
-		// Deadline-monotonic ranks, ties by task ID.
-		type dt struct {
-			d  rtime.Duration
-			id int
-		}
-		order := make([]dt, 0, len(cfg.Assignments))
-		for i := range cfg.Assignments {
-			t := cfg.Assignments[i].Task
-			order = append(order, dt{t.Deadline, t.ID})
-		}
-		sort.Slice(order, func(i, j int) bool {
-			if order[i].d != order[j].d {
-				return order[i].d < order[j].d
-			}
-			return order[i].id < order[j].id
-		})
-		s.rank = make(map[int]int64, len(order))
-		for r, o := range order {
-			s.rank[o.id] = int64(r)
-		}
-	}
-	horizon := rtime.Instant(cfg.Horizon)
-
-	for {
-		s.admit(horizon)
-		if len(s.ready) == 0 {
-			next := s.nextEvent(horizon)
-			if next == rtime.Forever {
-				s.res.Makespan = rtime.Duration(s.now)
-				break
-			}
-			s.now = next
-			continue
-		}
-		j := s.ready[0]
-		if j.aborted { // lazy removal after AbortAtDeadline
-			heap.Pop(&s.ready)
-			continue
-		}
-		slice := j.remaining
-		if next := s.nextEvent(horizon); next != rtime.Forever {
-			if gap := next.Sub(s.now); gap < slice {
-				slice = gap
-			}
-		}
-		start := s.now
-		s.now = s.now.Add(slice)
-		j.remaining -= slice
-		s.res.CPUBusy += slice
-		if s.res.Trace != nil {
-			s.res.Trace.Segments = append(s.res.Trace.Segments, trace.Segment{
-				Start: start, End: s.now,
-				Sub: trace.SubID{TaskID: j.asg.Task.ID, Seq: j.seq, Kind: j.kind},
-			})
-		}
-		if j.remaining == 0 {
-			heap.Pop(&s.ready)
-			s.complete(j)
-		}
-	}
-}
-
-// admit moves releases and wakes due at or before now into the ready
-// queue.
-func (s *sim) admit(horizon rtime.Instant) {
-	for i := range s.cfg.Assignments {
-		for s.nextRelease[i] <= s.now && s.nextRelease[i] < horizon {
-			s.release(i, s.nextRelease[i])
-			s.advanceRelease(i)
-		}
-	}
-	for len(s.waking) > 0 && s.waking[0].wake <= s.now {
-		j := heap.Pop(&s.waking).(*jobState)
-		if j.aborted {
-			continue
-		}
-		s.resume(j)
-	}
-	if s.cfg.OnMiss == AbortAtDeadline {
-		for len(s.deadlines) > 0 && s.deadlines[0].deadline <= s.now {
-			j := heap.Pop(&s.deadlines).(*jobState)
-			if j.phase == phaseDone || j.aborted {
-				continue
-			}
-			s.abort(j)
-		}
-	}
-}
-
-// abort discards a job's remaining work at its deadline.
-func (s *sim) abort(j *jobState) {
-	j.aborted = true
-	if j.phase == phaseFirst || j.phase == phaseSecond {
-		s.recordSubAbandoned(j)
-	}
-	t := j.asg.Task
-	st := s.res.PerTask[t.ID]
-	st.Misses++
-	st.Aborted++
-	s.res.Misses++
-	outcome := RanLocal
-	if j.asg.Offload {
-		outcome = OffloadMissed // never served within its budget
-	}
-	s.res.Jobs = append(s.res.Jobs, JobResult{
-		TaskID:   t.ID,
-		Seq:      j.seq,
-		Release:  j.release,
-		Deadline: j.deadline,
-		Finish:   j.deadline,
-		Outcome:  outcome,
-		Missed:   true,
-		Finished: false,
-	})
-	j.phase = phaseDone
-}
-
-// recordSubAbandoned appends an abandoned sub-job record to the trace.
-func (s *sim) recordSubAbandoned(j *jobState) {
-	if s.res.Trace == nil {
-		return
-	}
-	s.res.Trace.Subs = append(s.res.Trace.Subs, trace.SubRecord{
-		Sub:         trace.SubID{TaskID: j.asg.Task.ID, Seq: j.seq, Kind: j.kind},
-		Release:     j.subRelease,
-		Deadline:    j.subDeadline,
-		WCET:        j.wcet,
-		Abandoned:   true,
-		AbandonTime: s.now,
-	})
-}
-
-// nextEvent returns the earliest pending release, wake, or — under
-// AbortAtDeadline — live deadline after now.
-func (s *sim) nextEvent(horizon rtime.Instant) rtime.Instant {
-	next := rtime.Forever
-	for i := range s.cfg.Assignments {
-		if r := s.nextRelease[i]; r < horizon && r < next {
-			next = r
-		}
-	}
-	if len(s.waking) > 0 && s.waking[0].wake < next {
-		next = s.waking[0].wake
-	}
-	if s.cfg.OnMiss == AbortAtDeadline {
-		for len(s.deadlines) > 0 && (s.deadlines[0].phase == phaseDone || s.deadlines[0].aborted) {
-			heap.Pop(&s.deadlines)
-		}
-		if len(s.deadlines) > 0 && s.deadlines[0].deadline < next {
-			next = s.deadlines[0].deadline
-		}
-	}
-	return next
-}
-
-func (s *sim) advanceRelease(i int) {
-	t := s.cfg.Assignments[i].Task
-	gap := t.Period
-	if s.cfg.ReleaseJitter > 0 {
-		gap += rtime.Duration(s.cfg.RNG.Int64N(int64(s.cfg.ReleaseJitter) + 1))
-	}
-	s.nextRelease[i] = s.nextRelease[i].Add(gap)
-}
-
-// release creates the job and its first sub-job.
-func (s *sim) release(i int, at rtime.Instant) {
-	a := &s.cfg.Assignments[i]
-	t := a.Task
-	j := &jobState{
-		asg:      a,
-		seq:      s.seq[i],
-		release:  at,
-		deadline: at.Add(t.Deadline),
-		phase:    phaseFirst,
-	}
-	s.seq[i]++
-	st := s.res.PerTask[t.ID]
-	st.Released++
-	st.BaselineSum += t.LocalBenefit
-	s.res.TotalBaseline += t.EffectiveWeight() * t.LocalBenefit
-
-	if a.Offload {
-		j.kind = trace.Setup
-		j.wcet = t.SetupAt(a.Level)
-		switch s.cfg.Policy {
-		case SplitEDF:
-			d1, err := dbf.SplitDeadline(t.SetupAt(a.Level), t.SecondPhaseAt(a.Level), t.Deadline, a.Budget())
-			if err != nil {
-				// Validated in Run; unreachable.
-				panic(fmt.Sprintf("sched: split deadline: %v", err))
-			}
-			j.subDeadline = at.Add(d1)
-		case NaiveEDF, FixedPriority:
-			j.subDeadline = j.deadline
-		}
-	} else {
-		j.kind = trace.Local
-		j.wcet = t.LocalWCET
-		j.subDeadline = j.deadline
-	}
-	j.remaining = j.wcet
-	j.subRelease = at
-	j.prio = s.prioOf(j)
-	heap.Push(&s.ready, j)
-	if s.cfg.OnMiss == AbortAtDeadline {
-		heap.Push(&s.deadlines, j)
-	}
-}
-
-// complete handles a finished sub-job.
-func (s *sim) complete(j *jobState) {
-	s.recordSub(j, true)
-	t := j.asg.Task
-	switch j.phase {
-	case phaseFirst:
-		if !j.asg.Offload {
-			s.finishJob(j, RanLocal, t.LocalBenefit)
-			return
-		}
-		// Issue the offload request to the level's component and
-		// suspend.
-		level := t.Levels[j.asg.Level]
-		srv := s.cfg.Server
-		if level.ServerID != "" {
-			srv = s.cfg.Servers[level.ServerID]
-		}
-		resp := srv.Respond(s.now, t.ID, level.PayloadBytes)
-		if resp.Latency < 0 {
-			// A response cannot arrive before its request; clamp
-			// misbehaving Server implementations to "instant".
-			resp.Latency = 0
-		}
-		budget := j.asg.Budget()
-		if resp.Arrives && resp.Latency <= budget {
-			j.hit = true
-			j.wake = s.now.Add(resp.Latency)
-		} else {
-			j.hit = false
-			j.wake = s.now.Add(budget)
-		}
-		j.phase = phaseSuspended
-		s.res.RadioBusy += j.wake.Sub(s.now)
-		heap.Push(&s.waking, j)
-	case phaseSecond:
-		if j.hit {
-			s.finishJob(j, OffloadHit, t.Levels[j.asg.Level].Benefit)
-		} else {
-			s.finishJob(j, OffloadMissed, t.LocalBenefit)
-		}
-	default:
-		panic("sched: completing job in unexpected phase")
-	}
-}
-
-// resume transitions a suspended job to its second sub-job.
-func (s *sim) resume(j *jobState) {
-	t := j.asg.Task
-	j.phase = phaseSecond
-	j.subRelease = j.wake
-	j.subDeadline = j.deadline
-	j.prio = s.prioOf(j)
-	if j.hit {
-		j.kind = trace.Post
-		j.wcet = t.PostProcessAt(j.asg.Level)
-	} else {
-		j.kind = trace.Comp
-		j.wcet = t.CompensationAt(j.asg.Level)
-	}
-	j.remaining = j.wcet
-	if j.wcet == 0 {
-		// Zero post-processing: the job is done the moment the result
-		// arrives. Record a zero-length sub-job for accounting.
-		s.recordSub(j, true)
-		if j.hit {
-			s.finishJob(j, OffloadHit, t.Levels[j.asg.Level].Benefit)
-		} else {
-			s.finishJob(j, OffloadMissed, t.LocalBenefit)
-		}
-		return
-	}
-	heap.Push(&s.ready, j)
-}
-
-// recordSub appends the current sub-job's record to the trace.
-func (s *sim) recordSub(j *jobState, completed bool) {
-	if s.res.Trace == nil {
-		return
-	}
-	rec := trace.SubRecord{
-		Sub:      trace.SubID{TaskID: j.asg.Task.ID, Seq: j.seq, Kind: j.kind},
-		Release:  j.subRelease,
-		Deadline: j.subDeadline,
-		WCET:     j.wcet,
-	}
-	if completed {
-		rec.Completed = true
-		rec.Completion = s.now
-	}
-	s.res.Trace.Subs = append(s.res.Trace.Subs, rec)
-}
-
-func (s *sim) finishJob(j *jobState, out Outcome, benefit float64) {
-	j.phase = phaseDone
-	t := j.asg.Task
-	st := s.res.PerTask[t.ID]
-	missed := s.now > j.deadline
-	jr := JobResult{
-		TaskID:   t.ID,
-		Seq:      j.seq,
-		Release:  j.release,
-		Deadline: j.deadline,
-		Finish:   s.now,
-		Outcome:  out,
-		Benefit:  benefit,
-		Missed:   missed,
-		Finished: true,
-	}
-	s.res.Jobs = append(s.res.Jobs, jr)
-	st.Finished++
-	switch out {
-	case RanLocal:
-		st.LocalRuns++
-	case OffloadHit:
-		st.Hits++
-	case OffloadMissed:
-		st.Compensations++
-		if t.GuaranteedAt(j.asg.Level) {
-			st.BoundViolations++
-		}
-	}
-	if missed {
-		st.Misses++
-		s.res.Misses++
-	}
-	st.BenefitSum += benefit
-	s.res.TotalBenefit += t.EffectiveWeight() * benefit
-	lat := s.now.Sub(j.release)
-	if lat > st.WorstLatency {
-		st.WorstLatency = lat
-	}
-	if s.cfg.CollectLatencies {
-		st.Latencies = append(st.Latencies, lat)
-	}
+	return s
 }
 
 // LatencyPercentile returns the p-th percentile (0..100) of a task's

@@ -96,9 +96,37 @@ func (r *SubRecord) end() rtime.Instant {
 }
 
 // Trace is a recorded schedule.
+//
+// Segments are appended in execution order via Append, which
+// guarantees the coalescing invariant: no two consecutive entries of
+// Segments describe the same sub-job with touching endpoints
+// (s[i].End == s[i+1].Start ∧ s[i].Sub == s[i+1].Sub never holds).
+// A recorder may therefore slice one continuous execution of a
+// sub-job at arbitrary internal instants — event-calendar boundaries,
+// clock quanta — without changing the recorded trace: Append merges
+// the pieces back. Memory then grows with the number of *preemptions
+// and resumptions*, not with the number of scheduler events.
 type Trace struct {
 	Segments []Segment
 	Subs     []SubRecord
+}
+
+// Append records one execution interval, coalescing it with the
+// previous segment when both describe the same sub-job and touch
+// (previous End == new Start). Callers must append segments in
+// execution order; empty intervals are ignored.
+func (tr *Trace) Append(s Segment) {
+	if s.End <= s.Start {
+		return
+	}
+	if n := len(tr.Segments); n > 0 {
+		last := &tr.Segments[n-1]
+		if last.Sub == s.Sub && last.End == s.Start {
+			last.End = s.End
+			return
+		}
+	}
+	tr.Segments = append(tr.Segments, s)
 }
 
 // Validate runs every checker and returns the first violation.

@@ -197,3 +197,45 @@ func TestValidateOrderOfChecks(t *testing.T) {
 		t.Fatal("trace with no sub records accepted")
 	}
 }
+
+func TestAppendCoalescesAdjacentSameSub(t *testing.T) {
+	s1 := SubID{TaskID: 1, Seq: 0, Kind: Local}
+	s2 := SubID{TaskID: 2, Seq: 0, Kind: Local}
+	var tr Trace
+	// One continuous execution of s1 sliced at two internal instants
+	// must collapse to a single segment.
+	tr.Append(Segment{Start: ms(0), End: ms(2), Sub: s1})
+	tr.Append(Segment{Start: ms(2), End: ms(3), Sub: s1})
+	tr.Append(Segment{Start: ms(3), End: ms(5), Sub: s1})
+	if len(tr.Segments) != 1 {
+		t.Fatalf("coalescing failed: %d segments", len(tr.Segments))
+	}
+	if got := tr.Segments[0]; got.Start != ms(0) || got.End != ms(5) {
+		t.Fatalf("merged segment [%v,%v)", got.Start, got.End)
+	}
+	// A different sub-job breaks the run even when the times touch.
+	tr.Append(Segment{Start: ms(5), End: ms(6), Sub: s2})
+	// A later resumption of s1 (gap: s2 ran in between) starts fresh.
+	tr.Append(Segment{Start: ms(6), End: ms(8), Sub: s1})
+	if len(tr.Segments) != 3 {
+		t.Fatalf("want 3 segments after preemption, got %d", len(tr.Segments))
+	}
+	if tr.TotalBusy() != msd(8) {
+		t.Fatalf("busy = %v", tr.TotalBusy())
+	}
+}
+
+func TestAppendSkipsGapsAndEmptySegments(t *testing.T) {
+	s1 := SubID{TaskID: 1, Seq: 0, Kind: Local}
+	var tr Trace
+	tr.Append(Segment{Start: ms(0), End: ms(2), Sub: s1})
+	tr.Append(Segment{Start: ms(2), End: ms(2), Sub: s1}) // empty: dropped
+	if len(tr.Segments) != 1 || tr.Segments[0].End != ms(2) {
+		t.Fatalf("empty segment not ignored: %+v", tr.Segments)
+	}
+	// Same sub but an idle gap in between: kept separate.
+	tr.Append(Segment{Start: ms(4), End: ms(6), Sub: s1})
+	if len(tr.Segments) != 2 {
+		t.Fatalf("gap wrongly coalesced: %+v", tr.Segments)
+	}
+}
