@@ -6,7 +6,7 @@ MICROBENCH = BenchmarkQPA$$|BenchmarkImproveWithExact|BenchmarkAdmissionChurn
 # The scheduler-engine benchmarks tracked in BENCH_4.json.
 SCHEDBENCH = BenchmarkSchedSplitEDF|BenchmarkSchedNaiveEDF|BenchmarkSchedAbortAtDeadline|BenchmarkFigure2$$
 
-.PHONY: build test vet race verify lint bench bench-sched bench-all bench-smoke profile fmt fmt-check
+.PHONY: build test vet race verify lint bench bench-sched bench-all bench-smoke profile fmt fmt-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,27 @@ profile:
 		-cpuprofile cpu.out -memprofile mem.out .
 	$(GO) run ./cmd/ablations -per 10 -cpuprofile ablations_cpu.out -memprofile ablations_mem.out > /dev/null
 	@echo "profiles: cpu.out mem.out ablations_cpu.out ablations_mem.out"
+
+# Coverage gate: every internal package must hold ≥ 85% statement
+# coverage. internal/prof is exempt from the threshold check only in
+# the sense that it must still HAVE tests — its coverage is dominated
+# by runtime/pprof plumbing, so it is held to a lower 50% bar.
+cover:
+	$(GO) test -count=1 -cover ./internal/... | awk ' \
+		/no test files/ { print "FAIL (no tests): " $$0; bad = 1; next } \
+		/coverage:/ { \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = substr($$(i+1), 1, length($$(i+1)) - 1); \
+			min = ($$2 ~ /internal\/prof$$/) ? 50.0 : 85.0; \
+			if (pct + 0 < min) { print "FAIL (< " min "%): " $$0; bad = 1 } else print \
+		} \
+		END { exit bad }'
+
+# Short fuzz runs (~10s per target) so CI exercises the generators and
+# shrinks beyond the checked-in seed corpora.
+fuzz-smoke:
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzEngineMatchesReference -fuzztime=10s
+	$(GO) test ./internal/dbf -run='^$$' -fuzz=FuzzAnalyzerDifferential -fuzztime=10s
+	$(GO) test ./internal/chaos/invariant -run='^$$' -fuzz=FuzzChaosHardGuarantee -fuzztime=10s
 
 fmt:
 	gofmt -l -w .

@@ -1,12 +1,13 @@
 // Command ablations runs every design-choice ablation of DESIGN.md and
 // prints the tables: deadline splitting vs naive EDF (A), MCKP solver
 // quality (B), Theorem 3 vs exact demand analysis (C), EDF vs fixed
-// priorities (D), the related-work greedy baseline (E), and the
-// client-energy study.
+// priorities (D), the related-work greedy baseline (E), the
+// client-energy study, and — with -chaos — the fault-robustness sweep
+// (F).
 //
 // Usage:
 //
-//	ablations [-seed N] [-parallel N] [-per N] [-cpuprofile FILE] [-memprofile FILE]
+//	ablations [-seed N] [-parallel N] [-per N] [-chaos] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Generated systems fan out on -parallel workers; every table is
 // bit-identical for every worker count, so -parallel only changes the
@@ -16,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,33 +26,41 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+}
+
+// Run executes the driver against w, so tests can golden-check the
+// exact bytes the command prints. Operator feedback (wall-clock
+// timing) still goes to stderr.
+func Run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ablations", flag.ContinueOnError)
 	var (
-		seed = flag.Uint64("seed", 7, "deterministic seed")
-		par  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		per  = flag.Int("per", 40, "systems per load level")
-		cpu  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		mem  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		seed     = fs.Uint64("seed", 7, "deterministic seed")
+		par      = fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		per      = fs.Int("per", 40, "systems per load level")
+		withChao = fs.Bool("chaos", false, "additionally run the fault-robustness ablation (F)")
+		cpu      = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		mem      = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	stopProf, err := prof.Start(*cpu, *mem)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ablations:", err)
-		os.Exit(1)
+		return err
 	}
 	defer stopProf()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "ablations:", err)
-		stopProf()
-		os.Exit(1)
-	}
 	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 
-	fmt.Println("A — deadline splitting vs naive EDF (adversarial server, miss rate per load)")
+	fmt.Fprintln(w, "A — deadline splitting vs naive EDF (adversarial server, miss rate per load)")
 	edfRows, err := exp.NaiveEDFAblation(*seed, []float64{0.5, 0.7, 0.85, 0.95}, *per, *par)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	var rows [][]string
 	for _, r := range edfRows {
@@ -61,14 +71,14 @@ func main() {
 			fmt.Sprintf("%.2f", r.NaiveMissRate),
 		})
 	}
-	if err := exp.WriteTable(os.Stdout, []string{"Load", "Systems", "Split", "Naive"}, rows); err != nil {
-		fail(err)
+	if err := exp.WriteTable(w, []string{"Load", "Systems", "Split", "Naive"}, rows); err != nil {
+		return err
 	}
 
-	fmt.Println("\nB — MCKP solver quality (relative to DP, paper's 30-task sets)")
+	fmt.Fprintln(w, "\nB — MCKP solver quality (relative to DP, paper's 30-task sets)")
 	solRows, err := exp.SolverAblation(*seed, *per, *par)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rows = nil
 	for _, r := range solRows {
@@ -78,14 +88,14 @@ func main() {
 			fmt.Sprintf("%.4f", r.WorstQuality),
 		})
 	}
-	if err := exp.WriteTable(os.Stdout, []string{"Solver", "Mean", "Worst"}, rows); err != nil {
-		fail(err)
+	if err := exp.WriteTable(w, []string{"Solver", "Mean", "Worst"}, rows); err != nil {
+		return err
 	}
 
-	fmt.Println("\nC — Theorem 3 vs exact demand analysis (acceptance per load)")
+	fmt.Fprintln(w, "\nC — Theorem 3 vs exact demand analysis (acceptance per load)")
 	dbfRows, err := exp.DBFAblation(*seed, []float64{0.6, 0.8, 1.0, 1.2}, *per, *par)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rows = nil
 	for _, r := range dbfRows {
@@ -99,14 +109,14 @@ func main() {
 			fmt.Sprintf("%d", r.ExactAccepted),
 		})
 	}
-	if err := exp.WriteTable(os.Stdout, []string{"Load", "Systems", "Theorem3", "Exact"}, rows); err != nil {
-		fail(err)
+	if err := exp.WriteTable(w, []string{"Load", "Systems", "Theorem3", "Exact"}, rows); err != nil {
+		return err
 	}
 
-	fmt.Println("\nD — fixed priorities vs the paper's EDF (acceptance per load)")
+	fmt.Fprintln(w, "\nD — fixed priorities vs the paper's EDF (acceptance per load)")
 	fpRows, err := exp.FPAblation(*seed, []float64{0.4, 0.6, 0.8}, *per, *par)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rows = nil
 	for _, r := range fpRows {
@@ -119,17 +129,17 @@ func main() {
 			fmt.Sprintf("%d", r.EDFExact),
 		})
 	}
-	if err := exp.WriteTable(os.Stdout,
+	if err := exp.WriteTable(w,
 		[]string{"Load", "Systems", "FP-obl", "FP-jit", "EDF-Thm3", "EDF-exact"}, rows); err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Println("\nEnergy — client energy vs all-local execution (case study)")
+	fmt.Fprintln(w, "\nEnergy — client energy vs all-local execution (case study)")
 	eCfg := exp.DefaultCaseStudyConfig()
 	eCfg.Parallel = *par
 	eRows, err := exp.EnergyStudy(eCfg, exp.DefaultPowerModel())
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rows = nil
 	for _, r := range eRows {
@@ -141,10 +151,34 @@ func main() {
 			fmt.Sprintf("%d/%d", r.Hits, r.Hits+r.Comps),
 		})
 	}
-	if err := exp.WriteTable(os.Stdout,
+	if err := exp.WriteTable(w,
 		[]string{"Scenario", "Offload", "All-local", "Savings", "Hits"}, rows); err != nil {
-		fail(err)
+		return err
+	}
+
+	if *withChao {
+		fmt.Fprintln(w, "\nF — fault robustness: miss rate and benefit vs chaos intensity (heavy preset × x)")
+		cRows, err := exp.ChaosAblation(*seed, []float64{0, 0.25, 0.5, 0.75, 1}, *per, *par)
+		if err != nil {
+			return err
+		}
+		rows = nil
+		for _, r := range cRows {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f", r.Intensity),
+				fmt.Sprintf("%d", r.Systems),
+				fmt.Sprintf("%.2f", r.SplitMissRate),
+				fmt.Sprintf("%.2f", r.NaiveMissRate),
+				fmt.Sprintf("%.3f", r.SplitBenefit),
+				fmt.Sprintf("%.3f", r.NaiveBenefit),
+			})
+		}
+		if err := exp.WriteTable(w,
+			[]string{"Intensity", "Systems", "Split-miss", "Naive-miss", "Split-ben", "Naive-ben"}, rows); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "ablations: wall-clock %.2fs (parallel=%d)\n",
 		time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
+	return nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestRunGolden locks the driver's exact stdout bytes. Refresh with
+//
+//	go test ./cmd/ablations -run TestRunGolden -update
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"default", []string{"-per", "3"}},
+		{"chaos", []string{"-per", "3", "-chaos"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(&buf, tc.args); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("stdout differs from %s (refresh with -update if intended)\ngot:\n%s", golden, buf.String())
+			}
+		})
+	}
+}
+
+// TestChaosTableIsAdditive: -chaos must only append table F, leaving
+// every byte of the default output in place.
+func TestChaosTableIsAdditive(t *testing.T) {
+	var plain, withChaos bytes.Buffer
+	if err := Run(&plain, []string{"-per", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(&withChaos, []string{"-per", "2", "-chaos"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(withChaos.Bytes(), plain.Bytes()) {
+		t.Error("-chaos output does not extend the default output")
+	}
+	if !bytes.Contains(withChaos.Bytes(), []byte("F — fault robustness")) {
+		t.Error("-chaos output lacks the robustness table")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

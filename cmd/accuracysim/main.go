@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,16 +24,29 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "accuracysim:", err)
+		os.Exit(1)
+	}
+}
+
+// Run executes the driver against w, so tests can golden-check the
+// exact bytes the command prints. Operator feedback (wall-clock
+// timing) still goes to stderr.
+func Run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("accuracysim", flag.ContinueOnError)
 	var (
-		seed     = flag.Uint64("seed", 1, "deterministic experiment seed")
-		par      = flag.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		trials   = flag.Int("trials", 20, "random 30-task sets averaged per ratio")
-		simulate = flag.Bool("simulate", false, "additionally validate each decision in the EDF simulator")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		interp   = flag.String("interp", "budget-shift", "error model: budget-shift | value-shift (two readings of G((1+x)·ri))")
-		chart    = flag.Bool("chart", false, "also draw Figure 3 as an ASCII chart")
+		seed     = fs.Uint64("seed", 1, "deterministic experiment seed")
+		par      = fs.Int("parallel", 0, "trial worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		trials   = fs.Int("trials", 20, "random 30-task sets averaged per ratio")
+		simulate = fs.Bool("simulate", false, "additionally validate each decision in the EDF simulator")
+		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		interp   = fs.String("interp", "budget-shift", "error model: budget-shift | value-shift (two readings of G((1+x)·ri))")
+		chart    = fs.Bool("chart", false, "also draw Figure 3 as an ASCII chart")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := exp.DefaultFigure3Config()
 	cfg.Seed = *seed
@@ -45,19 +59,17 @@ func main() {
 	case "value-shift":
 		cfg.Interpretation = exp.ValueShift
 	default:
-		fmt.Fprintf(os.Stderr, "accuracysim: unknown interpretation %q\n", *interp)
-		os.Exit(2)
+		return fmt.Errorf("unknown interpretation %q", *interp)
 	}
 
 	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 	res, err := exp.Figure3(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "accuracysim:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "accuracysim: sweep wall-clock %.2fs (parallel=%d)\n",
 		time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
-	fmt.Printf("Figure 3: normalized total benefit vs estimation accuracy ratio (%d trials, normalized to DP at x=0)\n", cfg.Trials)
+	fmt.Fprintf(w, "Figure 3: normalized total benefit vs estimation accuracy ratio (%d trials, normalized to DP at x=0)\n", cfg.Trials)
 	if *csv {
 		var rows [][]string
 		dp := res.Series(core.SolverDP)
@@ -67,27 +79,22 @@ func main() {
 				fmt.Sprintf("%g", x), fmt.Sprintf("%.4f", dp[i]), fmt.Sprintf("%.4f", heu[i]),
 			})
 		}
-		if err := exp.WriteCSV(os.Stdout, []string{"x", "dp", "heu"}, rows); err != nil {
-			fmt.Fprintln(os.Stderr, "accuracysim:", err)
-			os.Exit(1)
-		}
-		return
+		return exp.WriteCSV(w, []string{"x", "dp", "heu"}, rows)
 	}
-	if err := exp.RenderFigure3(os.Stdout, res); err != nil {
-		fmt.Fprintln(os.Stderr, "accuracysim:", err)
-		os.Exit(1)
+	if err := exp.RenderFigure3(w, res); err != nil {
+		return err
 	}
 	if *chart {
-		fmt.Println()
-		if err := exp.ChartFigure3(os.Stdout, res, cfg.Ratios, 14); err != nil {
-			fmt.Fprintln(os.Stderr, "accuracysim:", err)
-			os.Exit(1)
+		fmt.Fprintln(w)
+		if err := exp.ChartFigure3(w, res, cfg.Ratios, 14); err != nil {
+			return err
 		}
 	}
 	if *simulate {
-		fmt.Println("\nsimulation-validated values (in-time fraction scoring):")
+		fmt.Fprintln(w, "\nsimulation-validated values (in-time fraction scoring):")
 		for _, p := range res.Points {
-			fmt.Printf("x=%+.1f %-10s analytic %.4f simulated %.4f\n", p.Ratio, p.Solver, p.Normalized, p.SimNormalized)
+			fmt.Fprintf(w, "x=%+.1f %-10s analytic %.4f simulated %.4f\n", p.Ratio, p.Solver, p.Normalized, p.SimNormalized)
 		}
 	}
+	return nil
 }

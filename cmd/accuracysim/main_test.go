@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestRunGolden locks the driver's exact stdout bytes. Refresh with
+//
+//	go test ./cmd/accuracysim -run TestRunGolden -update
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"default", []string{"-trials", "2"}},
+		{"csv", []string{"-trials", "2", "-csv"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(&buf, tc.args); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("stdout differs from %s (refresh with -update if intended)\ngot:\n%s", golden, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, []string{"-interp", "nope"}); err == nil {
+		t.Error("unknown interpretation accepted")
+	}
+	if err := Run(&buf, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -6,20 +6,25 @@
 // Usage:
 //
 //	casestudy [-seed N] [-parallel N] [-horizon SECONDS] [-solver dp|heu] [-csv] [-table1] [-figure2]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-chaos SPEC] [-cpuprofile FILE] [-memprofile FILE]
 //
-// With neither -table1 nor -figure2, both are produced. The sweeps
-// fan out on -parallel workers; the output is bit-identical for every
-// worker count (per-run seeds are derived, not drawn in sequence), so
+// With neither -table1 nor -figure2, both are produced. -chaos wraps
+// every simulated server in the fault injector (internal/chaos); the
+// spec is a preset (off|mild|moderate|heavy) optionally followed by
+// key=value overrides, e.g. "moderate,drop=0.2". The sweeps fan out on
+// -parallel workers; the output is bit-identical for every worker
+// count (per-run seeds are derived, not drawn in sequence), so
 // -parallel only changes the wall clock, which is reported on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"rtoffload/internal/chaos"
 	"rtoffload/internal/core"
 	"rtoffload/internal/exp"
 	"rtoffload/internal/prof"
@@ -27,25 +32,39 @@ import (
 )
 
 func main() {
-	var (
-		seed    = flag.Uint64("seed", 1, "deterministic experiment seed")
-		par     = flag.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-		horizon = flag.Float64("horizon", 10, "measurement window in seconds (paper: 10)")
-		solver  = flag.String("solver", "dp", "decision solver: dp | heu")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		t1      = flag.Bool("table1", false, "produce Table 1 only")
-		f2      = flag.Bool("figure2", false, "produce Figure 2 only")
-		multi   = flag.Int("multiseed", 0, "additionally report Figure-2 scenario means over N seeds with 95% CIs")
-		latency = flag.Bool("latency", false, "produce the per-task response-time profile instead")
-		chart   = flag.Bool("chart", false, "also draw Figure 2 as an ASCII chart")
-		cpu     = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		mem     = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
+	if err := Run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "casestudy:", err)
+		os.Exit(1)
+	}
+}
 
-	var err error
-	if stopProf, err = prof.Start(*cpu, *mem); err != nil {
-		fatal(err)
+// Run executes the driver against w, so tests can golden-check the
+// exact bytes the command prints. Operator feedback (wall-clock
+// timing) still goes to stderr.
+func Run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("casestudy", flag.ContinueOnError)
+	var (
+		seed      = fs.Uint64("seed", 1, "deterministic experiment seed")
+		par       = fs.Int("parallel", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		horizon   = fs.Float64("horizon", 10, "measurement window in seconds (paper: 10)")
+		solver    = fs.String("solver", "dp", "decision solver: dp | heu")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		t1        = fs.Bool("table1", false, "produce Table 1 only")
+		f2        = fs.Bool("figure2", false, "produce Figure 2 only")
+		multi     = fs.Int("multiseed", 0, "additionally report Figure-2 scenario means over N seeds with 95% CIs")
+		latency   = fs.Bool("latency", false, "produce the per-task response-time profile instead")
+		chart     = fs.Bool("chart", false, "also draw Figure 2 as an ASCII chart")
+		chaosSpec = fs.String("chaos", "", "fault-injection spec: preset (off|mild|moderate|heavy) and/or key=value overrides")
+		cpu       = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		mem       = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	stopProf, err := prof.Start(*cpu, *mem)
+	if err != nil {
+		return err
 	}
 	defer stopProf()
 
@@ -59,19 +78,18 @@ func main() {
 	case "heu":
 		cfg.Solver = core.SolverHEU
 	default:
-		fmt.Fprintf(os.Stderr, "casestudy: unknown solver %q\n", *solver)
-		os.Exit(2)
+		return fmt.Errorf("unknown solver %q", *solver)
+	}
+	if cfg.Chaos, err = chaos.ParseConfig(*chaosSpec); err != nil {
+		return err
 	}
 	if *latency {
 		rows, err := exp.LatencyStudy(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("Response-time profile per scenario (all worst cases bounded by the deadlines):")
-		if err := exp.RenderLatency(os.Stdout, rows); err != nil {
-			fatal(err)
-		}
-		return
+		fmt.Fprintln(w, "Response-time profile per scenario (all worst cases bounded by the deadlines):")
+		return exp.RenderLatency(w, rows)
 	}
 	doTable := *t1 || !*f2
 	doFigure := *f2 || !*t1
@@ -79,9 +97,9 @@ func main() {
 	if doTable {
 		rows, err := exp.Table1(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("Table 1: construction of Gi(ri) (PSNR benefit per probed response budget)")
+		fmt.Fprintln(w, "Table 1: construction of Gi(ri) (PSNR benefit per probed response budget)")
 		if *csv {
 			var out [][]string
 			for _, r := range rows {
@@ -91,30 +109,30 @@ func main() {
 				}
 				out = append(out, cells)
 			}
-			if err := exp.WriteCSV(os.Stdout, []string{"task", "G0", "r2", "G2", "r3", "G3", "r4", "G4", "r5", "G5"}, out); err != nil {
-				fatal(err)
+			if err := exp.WriteCSV(w, []string{"task", "G0", "r2", "G2", "r3", "G3", "r4", "G4", "r5", "G5"}, out); err != nil {
+				return err
 			}
-		} else if err := exp.RenderTable1(os.Stdout, rows); err != nil {
-			fatal(err)
+		} else if err := exp.RenderTable1(w, rows); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if doFigure {
 		start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 		res, err := exp.Figure2(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "casestudy: figure-2 sweep wall-clock %.2fs (parallel=%d)\n",
 			time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
-		fmt.Printf("Figure 2: normalized total weighted image quality, %gs horizon (normalized to the all-local baseline)\n", cfg.HorizonSeconds)
-		if err := exp.RenderFigure2(os.Stdout, res); err != nil {
-			fatal(err)
+		fmt.Fprintf(w, "Figure 2: normalized total weighted image quality, %gs horizon (normalized to the all-local baseline)\n", cfg.HorizonSeconds)
+		if err := exp.RenderFigure2(w, res); err != nil {
+			return err
 		}
 		if *chart {
-			fmt.Println()
-			if err := exp.ChartFigure2(os.Stdout, res, 16); err != nil {
-				fatal(err)
+			fmt.Fprintln(w)
+			if err := exp.ChartFigure2(w, res, 16); err != nil {
+				return err
 			}
 		}
 		for _, s := range []server.Scenario{server.Busy, server.NotBusy, server.Idle} {
@@ -123,35 +141,26 @@ func main() {
 			for _, v := range series {
 				sum += v
 			}
-			fmt.Printf("scenario %-8s mean %.3f\n", s, sum/float64(len(series)))
+			fmt.Fprintf(w, "scenario %-8s mean %.3f\n", s, sum/float64(len(series)))
 		}
 		misses := 0
 		for _, p := range res.Points {
 			misses += p.Misses
 		}
-		fmt.Printf("deadline misses across all runs: %d\n", misses)
+		fmt.Fprintf(w, "deadline misses across all runs: %d\n", misses)
 		if *multi > 0 {
 			start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 			rows, err := exp.Figure2Multi(cfg, *multi)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Fprintf(os.Stderr, "casestudy: multiseed wall-clock %.2fs (parallel=%d)\n",
 				time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
-			fmt.Printf("\nscenario means over %d seeds (Student-t 95%% CI):\n", *multi)
+			fmt.Fprintf(w, "\nscenario means over %d seeds (Student-t 95%% CI):\n", *multi)
 			for _, r := range rows {
-				fmt.Printf("  %-9s %.3f ± %.3f\n", r.Scenario, r.Mean, r.CI95)
+				fmt.Fprintf(w, "  %-9s %.3f ± %.3f\n", r.Scenario, r.Mean, r.CI95)
 			}
 		}
 	}
-}
-
-// stopProf flushes the -cpuprofile/-memprofile outputs; fatal calls it
-// so error exits still leave usable profiles behind.
-var stopProf = func() {}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "casestudy:", err)
-	stopProf()
-	os.Exit(1)
+	return nil
 }

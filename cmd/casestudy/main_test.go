@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestRunGolden locks the driver's exact stdout bytes. Refresh with
+//
+//	go test ./cmd/casestudy -run TestRunGolden -update
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"table1", []string{"-table1"}},
+		{"figure2", []string{"-figure2", "-horizon", "2"}},
+		{"figure2-chaos", []string{"-figure2", "-horizon", "2", "-chaos", "moderate"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(&buf, tc.args); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("stdout differs from %s (refresh with -update if intended)\ngot:\n%s", golden, buf.String())
+			}
+		})
+	}
+}
+
+// TestRunRejectsBadFlags keeps the error paths honest.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, []string{"-solver", "nope"}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+	if err := Run(&buf, []string{"-chaos", "nope"}); err == nil {
+		t.Error("unknown chaos preset accepted")
+	}
+	if err := Run(&buf, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

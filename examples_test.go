@@ -1,0 +1,51 @@
+package rtoffload_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun smoke-tests every example program: `go run` must exit
+// zero and print something. The examples double as documentation, so a
+// compile error or panic in any of them is a regression even though no
+// package imports them.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run full programs; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dirs++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+filepath.Join("examples", name))
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run failed: %v\nstderr:\n%s", err, stderr.String())
+			}
+			if stdout.Len() == 0 {
+				t.Error("example printed nothing on stdout")
+			}
+		})
+	}
+	if dirs == 0 {
+		t.Fatal("no example directories found")
+	}
+}

@@ -1,0 +1,489 @@
+package chaos_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rtoffload/internal/chaos"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+)
+
+func ms(v int64) rtime.Duration { return rtime.FromMillis(v) }
+
+// newQueue builds a deterministic queueing inner server.
+func newQueue(t *testing.T, seed uint64) *server.Queue {
+	t.Helper()
+	cfg, err := server.ScenarioConfig(server.NotBusy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := server.NewQueue(stats.NewRNG(seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// probe issues n spaced requests and returns the responses.
+func probe(srv server.Server, n int) []server.Response {
+	out := make([]server.Response, n)
+	at := rtime.Instant(0)
+	for i := range out {
+		out[i] = srv.Respond(at, i%4, 10_000)
+		at = at.Add(ms(25))
+	}
+	return out
+}
+
+func TestAllPassIsBitIdentical(t *testing.T) {
+	inj, err := chaos.New(newQueue(t, 7), chaos.Config{}, stats.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := probe(inj, 400)
+	bare := probe(newQueue(t, 7), 400)
+	if !reflect.DeepEqual(wrapped, bare) {
+		t.Fatal("all-pass injector changed at least one response")
+	}
+}
+
+func TestDropLosesEverything(t *testing.T) {
+	inj, err := chaos.New(server.Fixed{Latency: ms(5)}, chaos.Config{Drop: 1}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	for _, r := range probe(inj, 50) {
+		if r.Arrives {
+			t.Fatal("response survived Drop=1")
+		}
+	}
+	if got := sched.FaultCount(chaos.KindDrop); got != 50 {
+		t.Fatalf("recorded %d drops, want 50", got)
+	}
+	if got := sched.Dropped(); got != 50 {
+		t.Fatalf("Dropped() = %d, want 50", got)
+	}
+}
+
+func TestDuplicateRescuesDroppedResponse(t *testing.T) {
+	base := ms(5)
+	cfg := chaos.Config{Drop: 1, Dup: 1, DupDelayMax: ms(20)}
+	inj, err := chaos.New(server.Fixed{Latency: base}, cfg, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	for _, r := range probe(inj, 50) {
+		if !r.Arrives {
+			t.Fatal("duplicate failed to rescue a dropped response")
+		}
+		if r.Latency < base || r.Latency > base+ms(20) {
+			t.Fatalf("rescued latency %v outside [%v, %v]", r.Latency, base, base+ms(20))
+		}
+	}
+	rescued := 0
+	for _, e := range sched.Events {
+		if e.Kind == chaos.KindDuplicate && e.Rescued {
+			rescued++
+		}
+	}
+	if rescued != 50 {
+		t.Fatalf("recorded %d rescues, want 50", rescued)
+	}
+	if sched.Dropped() != 0 {
+		t.Fatal("rescued responses still counted as dropped")
+	}
+}
+
+func TestDuplicateCannotReviveInnerLoss(t *testing.T) {
+	cfg := chaos.Config{Dup: 1, DupDelayMax: ms(20)}
+	inj, err := chaos.New(server.Fixed{Lost: true}, cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range probe(inj, 20) {
+		if r.Arrives {
+			t.Fatal("duplicate revived a response the inner server never sent")
+		}
+	}
+}
+
+func TestDelayFaultsOnlyDelay(t *testing.T) {
+	base := ms(5)
+	cases := []struct {
+		name string
+		cfg  chaos.Config
+		kind chaos.Kind
+		max  rtime.Duration
+	}{
+		{"spike", chaos.Config{Spike: 1, SpikeMax: ms(30)}, chaos.KindSpike, ms(30)},
+		{"reorder", chaos.Config{Reorder: 1, ReorderDelayMax: ms(40)}, chaos.KindReorder, ms(40)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := chaos.New(server.Fixed{Latency: base}, tc.cfg, stats.NewRNG(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := inj.StartRecording()
+			for _, r := range probe(inj, 60) {
+				if !r.Arrives {
+					t.Fatal("delay fault lost a response")
+				}
+				if r.Latency < base || r.Latency > base+tc.max {
+					t.Fatalf("latency %v outside [%v, %v]", r.Latency, base, base+tc.max)
+				}
+			}
+			if sched.FaultCount(tc.kind) == 0 {
+				t.Fatal("no fault recorded")
+			}
+		})
+	}
+}
+
+func TestHangStallsBurst(t *testing.T) {
+	// Hang=1 with a fixed window: the first request opens a stall at
+	// issue 0; every response due before its end is delivered at the
+	// end, so a burst of fast requests collapses onto one instant.
+	cfg := chaos.Config{Hang: 1, HangMax: ms(100)}
+	inj, err := chaos.New(server.Fixed{Latency: ms(1)}, cfg, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	var arrivals []rtime.Instant
+	at := rtime.Instant(0)
+	for i := 0; i < 8; i++ {
+		r := inj.Respond(at, 0, 100)
+		if !r.Arrives {
+			t.Fatal("hang lost a response")
+		}
+		arrivals = append(arrivals, at.Add(r.Latency))
+		at = at.Add(ms(2)) // burst well inside any stall window
+	}
+	if sched.FaultCount(chaos.KindHang) == 0 {
+		t.Skip("all drawn stall windows were shorter than the burst spacing")
+	}
+	stalled := 0
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] == arrivals[i-1] {
+			stalled++
+		}
+	}
+	if stalled == 0 {
+		t.Fatal("no two burst responses collapsed onto a stall end")
+	}
+}
+
+func TestGilbertElliottBurstLoss(t *testing.T) {
+	// An almost-absorbing bad state with certain loss: once the channel
+	// goes bad, nearly every subsequent response is lost.
+	cfg := chaos.Config{GE: chaos.GilbertElliott{
+		PGoodBad: 1, PBadGood: 1e-12, BadLoss: 1,
+	}}
+	inj, err := chaos.New(server.Fixed{Latency: ms(5)}, cfg, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	rs := probe(inj, 30)
+	for i, r := range rs {
+		if r.Arrives {
+			t.Fatalf("response %d survived the absorbing bad channel", i)
+		}
+	}
+	if got := sched.FaultCount(chaos.KindBadChannel); got != 30 {
+		t.Fatalf("recorded %d bad-channel faults, want 30", got)
+	}
+}
+
+func TestGilbertElliottDelaysWhileBad(t *testing.T) {
+	base := ms(5)
+	cfg := chaos.Config{GE: chaos.GilbertElliott{
+		PGoodBad: 0.5, PBadGood: 0.5, BadDelayMax: ms(50),
+	}}
+	inj, err := chaos.New(server.Fixed{Latency: base}, cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	for _, r := range probe(inj, 200) {
+		if !r.Arrives {
+			t.Fatal("loss without BadLoss configured")
+		}
+		if r.Latency < base || r.Latency > base+ms(50) {
+			t.Fatalf("latency %v outside [%v, %v]", r.Latency, base, base+ms(50))
+		}
+	}
+	if sched.FaultCount(chaos.KindBadChannel) == 0 {
+		t.Fatal("bad channel never delayed anything over 200 requests")
+	}
+}
+
+func TestSkewIsBoundedAndNonNegative(t *testing.T) {
+	base := ms(2)
+	bound := ms(5) // larger than the base latency: forces the clamp path
+	inj, err := chaos.New(server.Fixed{Latency: base}, chaos.Config{SkewBound: bound}, stats.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	sawLow, sawHigh := false, false
+	for _, r := range probe(inj, 300) {
+		if !r.Arrives {
+			t.Fatal("skew lost a response")
+		}
+		if r.Latency < 0 || r.Latency > base+bound {
+			t.Fatalf("skewed latency %v outside [0, %v]", r.Latency, base+bound)
+		}
+		if r.Latency < base {
+			sawLow = true
+		}
+		if r.Latency > base {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatal("skew never moved the latency in both directions")
+	}
+	for _, e := range sched.Events {
+		if e.Kind != chaos.KindSkew {
+			continue
+		}
+		if e.Delta < -base || e.Delta > bound {
+			t.Fatalf("applied skew %v outside [%v, %v]", e.Delta, -base, bound)
+		}
+	}
+}
+
+// TestStreamIndependence is the determinism contract: enabling one
+// fault class must not perturb another class's decisions, because each
+// draws from its own forked stream.
+func TestStreamIndependence(t *testing.T) {
+	droppedSet := func(cfg chaos.Config) []int64 {
+		inj, err := chaos.New(server.Fixed{Latency: ms(5)}, cfg, stats.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := inj.StartRecording()
+		probe(inj, 200)
+		var drops []int64
+		for _, e := range sched.Events {
+			if e.Kind == chaos.KindDrop {
+				drops = append(drops, e.Req)
+			}
+		}
+		return drops
+	}
+	plain := droppedSet(chaos.Config{Drop: 0.3})
+	withSpikes := droppedSet(chaos.Config{Drop: 0.3, Spike: 0.5, SpikeMax: ms(30),
+		Reorder: 0.2, ReorderDelayMax: ms(10), SkewBound: ms(1)})
+	if !reflect.DeepEqual(plain, withSpikes) {
+		t.Fatal("enabling unrelated faults changed the drop stream")
+	}
+	if len(plain) == 0 {
+		t.Fatal("Drop=0.3 never fired over 200 requests")
+	}
+}
+
+func TestScheduleReplayIsExact(t *testing.T) {
+	cfg, err := chaos.Preset("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := chaos.New(newQueue(t, 11), cfg, stats.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	recorded := probe(inj, 300)
+
+	player, err := chaos.NewPlayer(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := probe(player, 300)
+	if err := player.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recorded, replayed) {
+		t.Fatal("replay diverged from the recorded observations")
+	}
+}
+
+func TestPlayerDetectsDivergence(t *testing.T) {
+	inj, err := chaos.New(server.Fixed{Latency: ms(5)}, chaos.Config{}, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := inj.StartRecording()
+	probe(inj, 3)
+
+	player, err := chaos.NewPlayer(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	player.Respond(0, 0, 10_000)
+	player.Respond(rtime.Instant(ms(25)), 99, 10_000) // wrong task ID
+	if player.Err() == nil {
+		t.Fatal("divergent replay not detected")
+	}
+
+	overrun, err := chaos.NewPlayer(&chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := overrun.Respond(0, 0, 0); r.Arrives {
+		t.Fatal("request beyond the schedule produced a response")
+	}
+	if overrun.Err() == nil {
+		t.Fatal("schedule overrun not detected")
+	}
+}
+
+func TestInversionsCountsFIFOViolations(t *testing.T) {
+	s := &chaos.Schedule{Requests: []chaos.RequestRecord{
+		{Issue: 0, Final: server.Response{Latency: ms(100), Arrives: true}},
+		{Issue: rtime.Instant(ms(10)), Final: server.Response{Latency: ms(5), Arrives: true}},
+		{Issue: rtime.Instant(ms(20)), Final: server.Response{Latency: ms(5), Arrives: true}},
+	}}
+	if got := s.Inversions(); got != 1 {
+		t.Fatalf("Inversions() = %d, want 1", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []chaos.Config{
+		{Drop: -0.1},
+		{Dup: 1.5},
+		{Reorder: 2},
+		{Spike: -1},
+		{Hang: 1.01},
+		{SpikeMax: -1},
+		{SkewBound: -1},
+		{GE: chaos.GilbertElliott{PGoodBad: 0.5}}, // can never recover
+		{GE: chaos.GilbertElliott{PGoodBad: 2, PBadGood: 1}},
+		{GE: chaos.GilbertElliott{PGoodBad: 0.1, PBadGood: 0.1, BadDelayMax: -1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+		if _, err := chaos.New(server.Fixed{}, cfg, stats.NewRNG(1)); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+	if _, err := chaos.New(nil, chaos.Config{}, stats.NewRNG(1)); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := chaos.New(server.Fixed{}, chaos.Config{}, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := chaos.NewPlayer(nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}
+
+func TestEnabledAndScale(t *testing.T) {
+	if (chaos.Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	heavy, err := chaos.Preset("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heavy.Enabled() {
+		t.Error("heavy preset reports disabled")
+	}
+	if heavy.Scale(0).Enabled() {
+		t.Error("Scale(0) still enabled")
+	}
+	half := heavy.Scale(0.5)
+	if half.Drop != heavy.Drop/2 || half.GE.PGoodBad != heavy.GE.PGoodBad/2 {
+		t.Error("Scale(0.5) did not halve probabilities")
+	}
+	if half.SpikeMax != heavy.SpikeMax {
+		t.Error("Scale changed a delay bound")
+	}
+	big := heavy.Scale(100)
+	if big.Drop != 1 || big.Spike != 1 {
+		t.Error("Scale did not clamp probabilities at 1")
+	}
+	if err := big.Validate(); err != nil {
+		t.Errorf("scaled config invalid: %v", err)
+	}
+	if neg := heavy.Scale(-3); neg.Enabled() {
+		t.Error("negative scale not treated as 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []chaos.Kind{chaos.KindDrop, chaos.KindDuplicate, chaos.KindReorder,
+		chaos.KindSpike, chaos.KindHang, chaos.KindBadChannel, chaos.KindSkew, chaos.Kind(99)}
+	want := []string{"drop", "duplicate", "reorder", "spike", "hang", "bad-channel", "skew", "Kind(99)"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("Kind %d: got %q want %q", int(k), k.String(), want[i])
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	for _, name := range []string{"", "off", "none", "mild", "moderate", "heavy"} {
+		if _, err := chaos.ParseConfig(name); err != nil {
+			t.Errorf("preset %q rejected: %v", name, err)
+		}
+	}
+	cfg, err := chaos.ParseConfig("moderate,drop=0.2,hang-max=300ms,skew-bound=1500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Drop != 0.2 {
+		t.Errorf("drop override ignored: %g", cfg.Drop)
+	}
+	if cfg.HangMax != ms(300) {
+		t.Errorf("hang-max override ignored: %v", cfg.HangMax)
+	}
+	if cfg.SkewBound != rtime.FromMicros(1500) {
+		t.Errorf("skew-bound override ignored: %v", cfg.SkewBound)
+	}
+	moderate, _ := chaos.Preset("moderate")
+	if cfg.Dup != moderate.Dup {
+		t.Error("preset field lost by override parsing")
+	}
+
+	cfg, err = chaos.ParseConfig("drop=0.4, spike=0.1 ,spike-max=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Drop != 0.4 || cfg.Spike != 0.1 || cfg.SpikeMax != rtime.Second*2 {
+		t.Errorf("key=value spec parsed wrong: %+v", cfg)
+	}
+
+	scaled, err := chaos.ParseConfig("heavy,scale=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, _ := chaos.Preset("heavy")
+	if scaled.Drop != heavy.Drop/2 {
+		t.Error("scale key not applied")
+	}
+
+	for _, bad := range []string{
+		"bogus",
+		"drop=0.1,mild", // preset after keys
+		"drop=nope",
+		"spike-max=fast",
+		"unknown=1",
+		"scale=-1",
+		"drop=1.5",        // fails final validation
+		"ge-good-bad=0.5", // channel can never recover
+	} {
+		if _, err := chaos.ParseConfig(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

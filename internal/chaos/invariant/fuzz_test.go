@@ -1,0 +1,24 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"rtoffload/internal/chaos/invariant"
+)
+
+// FuzzChaosHardGuarantee lets the fuzzer hunt for a seed whose derived
+// (task set × fault schedule) trial violates any hard-guarantee
+// invariant. The entire trial is a pure function of the seed, so any
+// crasher the fuzzer saves reproduces exactly.
+func FuzzChaosHardGuarantee(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(0x5eed_c4a0_5001))
+	f.Add(^uint64(0))
+	f.Add(uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := invariant.Check(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,423 @@
+// Package invariant is the hard-guarantee property harness: it runs
+// randomized (task set × fault schedule) trials through the paper's
+// full pipeline — Offloading Decision Manager admission (package
+// core), EDF deadline-splitting simulation (package sched), chaos
+// fault injection (package chaos) — and machine-checks the paper's
+// theorems as executable predicates:
+//
+//	I1  An admitted configuration never misses a deadline, under any
+//	    fault schedule (Theorems 1–3: the compensation path bounds the
+//	    demand regardless of server behavior).
+//	I2  Local compensation starts exactly at the Ri timer when the
+//	    result is absent; post-processing starts no later than Ri
+//	    after the offload request (§5.1's timer interrupt).
+//	I3  The realized benefit is never below the all-local baseline —
+//	    per job and in aggregate (Gi is non-decreasing and the
+//	    compensation path earns at least Gi(0)).
+//	I4  The recorded execution trace satisfies the independent EDF
+//	    invariant checkers of package trace.
+//	I5  The scheduler's per-task accounting is coherent: every
+//	    released job finishes, and outcomes partition the job count.
+//
+// Each trial derives every random draw from one uint64 seed via
+// stats.DeriveSeed, so any reported violation reproduces from its
+// seed alone; the injected fault schedule is additionally recorded
+// and replayable (chaos.Schedule / chaos.Player).
+package invariant
+
+import (
+	"errors"
+	"fmt"
+
+	"rtoffload/internal/chaos"
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+	"rtoffload/internal/trace"
+)
+
+// Stream ids for DeriveSeed; appended only, never renumbered (the
+// trial identity is part of every reported seed).
+const (
+	streamTaskSet uint64 = iota + 1
+	streamDecision
+	streamServer
+	streamChaos
+	streamSim
+)
+
+// Trial is one fully resolved randomized trial: the generated system,
+// its admitted decision, the fault configuration, and the simulation
+// parameters. Build it with NewTrial, run it with Run.
+type Trial struct {
+	Seed     uint64
+	Set      task.Set
+	Decision *core.Decision
+	Chaos    chaos.Config
+	Horizon  rtime.Duration
+	Jitter   rtime.Duration
+
+	// serverKind selects the wrapped component model; serverSeed and
+	// serverCfg resolve it deterministically (newInner can be called
+	// any number of times and always builds an identical server).
+	serverKind int
+	serverSeed uint64
+	serverCfg  server.QueueConfig
+	fixedLat   rtime.Duration
+}
+
+// NewTrial derives a randomized trial from its seed: a random task
+// set admitted by the Offloading Decision Manager, a random unreliable
+// component, and a random fault configuration. It returns ok=false
+// when the drawn system has nothing to simulate (the decision manager
+// can reject nothing — UUniFast keeps all-local feasible — but the
+// guard stays for robustness).
+func NewTrial(seed uint64) (*Trial, bool, error) {
+	rng := stats.NewRNG(stats.DeriveSeed(seed, streamTaskSet))
+
+	params := task.RandomSetParams{
+		N:           2 + rng.IntN(5),
+		TotalUtil:   0.3 + 0.6*rng.Float64(),
+		PeriodLoMS:  20,
+		PeriodHiMS:  200,
+		Q:           1 + rng.IntN(3),
+		SetupFrac:   0.1 + 0.2*rng.Float64(),
+		RespLoFrac:  0.15 + 0.15*rng.Float64(),
+		RespHiFrac:  0.5 + 0.4*rng.Float64(),
+		BenefitBase: 1,
+	}
+	set, err := task.GenerateRandomSet(rng, params)
+	if err != nil {
+		return nil, false, fmt.Errorf("invariant: seed %d: %w", seed, err)
+	}
+
+	decRNG := stats.NewRNG(stats.DeriveSeed(seed, streamDecision))
+	opts := core.Options{Solver: core.SolverDP}
+	if decRNG.Bool(0.5) {
+		opts.Solver = core.SolverHEU
+	}
+	opts.ExactUpgrade = decRNG.Bool(0.3)
+	dec, err := core.Decide(set, opts)
+	if errors.Is(err, core.ErrInfeasible) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("invariant: seed %d: %w", seed, err)
+	}
+
+	maxPeriod := rtime.Duration(0)
+	for _, t := range set {
+		if t.Period > maxPeriod {
+			maxPeriod = t.Period
+		}
+	}
+
+	tr := &Trial{
+		Seed:     seed,
+		Set:      set,
+		Decision: dec,
+		Horizon:  3 * maxPeriod,
+	}
+
+	srvRNG := stats.NewRNG(stats.DeriveSeed(seed, streamServer))
+	tr.serverKind = srvRNG.IntN(4)
+	tr.serverSeed = srvRNG.Uint64()
+	tr.fixedLat = rtime.Duration(srvRNG.Int64N(int64(maxPeriod)) + 1)
+	tr.serverCfg = server.QueueConfig{
+		Workers:              1 + srvRNG.IntN(3),
+		BandwidthBytesPerSec: 1_000_000 + srvRNG.Int64N(9_000_000),
+		NetLatencyMean:       rtime.Duration(srvRNG.Int64N(int64(rtime.FromMillis(8))) + 1),
+		NetLatencySigma:      srvRNG.Float64(),
+		ServiceMean:          rtime.Duration(srvRNG.Int64N(int64(rtime.FromMillis(20))) + 1),
+		ServiceRefBytes:      10_000,
+		ServiceJitter:        0.3 * srvRNG.Float64(),
+		BackgroundRatePerSec: 40 * srvRNG.Float64(),
+		BackgroundServiceMean: rtime.Duration(
+			srvRNG.Int64N(int64(rtime.FromMillis(60))) + 1),
+		LossProbability: 0.2 * srvRNG.Float64(),
+	}
+
+	chaosRNG := stats.NewRNG(stats.DeriveSeed(seed, streamChaos))
+	tr.Chaos = randomChaos(chaosRNG, maxPeriod)
+
+	simRNG := stats.NewRNG(stats.DeriveSeed(seed, streamSim))
+	if simRNG.Bool(0.5) {
+		tr.Jitter = rtime.Duration(simRNG.Int64N(int64(maxPeriod/4)) + 1)
+	}
+	return tr, true, nil
+}
+
+// randomChaos draws a fault configuration spanning all-pass to
+// hostile. Delay bounds scale with the task periods so the faults
+// stress the compensation path instead of merely saturating it.
+func randomChaos(rng *stats.RNG, period rtime.Duration) chaos.Config {
+	dur := func(frac float64) rtime.Duration {
+		max := int64(frac * float64(period))
+		if max < 1 {
+			max = 1
+		}
+		return rtime.Duration(rng.Int64N(max) + 1)
+	}
+	cfg := chaos.Config{}
+	if rng.Bool(0.1) {
+		return cfg // all-pass trials keep the no-fault path honest
+	}
+	if rng.Bool(0.6) {
+		cfg.Drop = rng.Float64()
+	}
+	if rng.Bool(0.4) {
+		cfg.Dup = rng.Float64()
+		cfg.DupDelayMax = dur(0.5)
+	}
+	if rng.Bool(0.4) {
+		cfg.Reorder = rng.Float64()
+		cfg.ReorderDelayMax = dur(0.5)
+	}
+	if rng.Bool(0.5) {
+		cfg.Spike = rng.Float64()
+		cfg.SpikeMax = dur(1.0)
+	}
+	if rng.Bool(0.3) {
+		cfg.Hang = 0.2 * rng.Float64()
+		cfg.HangMax = dur(1.5)
+	}
+	if rng.Bool(0.4) {
+		cfg.GE = chaos.GilbertElliott{
+			PGoodBad:    rng.Float64(),
+			PBadGood:    0.05 + 0.95*rng.Float64(),
+			BadLoss:     rng.Float64(),
+			BadDelayMax: dur(0.5),
+		}
+	}
+	if rng.Bool(0.3) {
+		cfg.SkewBound = dur(0.05)
+	}
+	return cfg
+}
+
+// newInner builds the trial's unreliable component. Every call
+// returns an identically seeded fresh instance, which is what lets
+// the all-pass identity check run the same workload twice.
+func (tr *Trial) newInner() (server.Server, error) {
+	switch tr.serverKind {
+	case 0:
+		return server.Fixed{Latency: tr.fixedLat}, nil
+	case 1:
+		return server.Fixed{Lost: true}, nil
+	case 2:
+		return server.NewQueue(stats.NewRNG(tr.serverSeed), tr.serverCfg)
+	default:
+		// A reservation-backed component: latency capped at half the
+		// shortest budget in the set (when one exists), so the
+		// guaranteed-hit path gets exercised too.
+		bound := tr.fixedLat/2 + 1
+		inner, err := server.NewQueue(stats.NewRNG(tr.serverSeed), tr.serverCfg)
+		if err != nil {
+			return nil, err
+		}
+		return server.Bounded{Inner: inner, Bound: bound}, nil
+	}
+}
+
+// SimConfig assembles the scheduler configuration around a server.
+func (tr *Trial) SimConfig(srv server.Server) sched.Config {
+	return sched.Config{
+		Assignments:   tr.Decision.Assignments(),
+		Server:        srv,
+		Horizon:       tr.Horizon,
+		Policy:        sched.SplitEDF,
+		ReleaseJitter: tr.Jitter,
+		RNG:           stats.NewRNG(stats.DeriveSeed(tr.Seed, streamSim, 1)),
+		RecordTrace:   true,
+	}
+}
+
+// Run simulates the trial under its fault schedule and checks every
+// invariant, returning the recorded fault schedule for replay. The
+// returned error is the first violation (or an infrastructure error).
+func (tr *Trial) Run() (*chaos.Schedule, error) {
+	inner, err := tr.newInner()
+	if err != nil {
+		return nil, fmt.Errorf("invariant: seed %d: %w", tr.Seed, err)
+	}
+	inj, err := chaos.New(inner, tr.Chaos, stats.NewRNG(stats.DeriveSeed(tr.Seed, streamChaos, 1)))
+	if err != nil {
+		return nil, fmt.Errorf("invariant: seed %d: %w", tr.Seed, err)
+	}
+	rec := inj.StartRecording()
+	res, err := sched.Run(tr.SimConfig(inj))
+	if err != nil {
+		return nil, fmt.Errorf("invariant: seed %d: %w", tr.Seed, err)
+	}
+	if err := tr.CheckResult(res); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// CheckResult asserts invariants I1–I5 against a simulation result.
+func (tr *Trial) CheckResult(res *sched.Result) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("invariant: seed %d: %s", tr.Seed, fmt.Sprintf(format, args...))
+	}
+
+	// I1 — hard guarantee: zero misses for the admitted set.
+	if res.Misses != 0 {
+		return fail("I1: %d deadline misses under fault schedule", res.Misses)
+	}
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if j.Missed || !j.Finished {
+			return fail("I1: job τ%d#%d missed (finished=%v)", j.TaskID, j.Seq, j.Finished)
+		}
+		if j.Finish > j.Deadline {
+			return fail("I1: job τ%d#%d finished at %v past deadline %v", j.TaskID, j.Seq, j.Finish, j.Deadline)
+		}
+	}
+
+	// I4 — independent EDF trace checkers.
+	if res.Trace == nil {
+		return fail("I4: trial ran without a trace")
+	}
+	if err := res.Trace.Validate(); err != nil {
+		return fail("I4: trace invalid: %v", err)
+	}
+
+	// I2 — compensation fires exactly at the Ri timer. Index each
+	// offloaded job's setup completion, then check the second phase.
+	budgets := make(map[int]rtime.Duration, len(tr.Decision.Choices))
+	locals := make(map[int]float64, len(tr.Decision.Choices))
+	levels := make(map[int]float64, len(tr.Decision.Choices))
+	for _, c := range tr.Decision.Choices {
+		locals[c.Task.ID] = c.Task.LocalBenefit
+		if c.Offload {
+			budgets[c.Task.ID] = c.Budget()
+			levels[c.Task.ID] = c.Task.Levels[c.Level].Benefit
+		}
+	}
+	type jobKey struct {
+		task int
+		seq  int64
+	}
+	setupDone := make(map[jobKey]rtime.Instant)
+	for i := range res.Trace.Subs {
+		rec := &res.Trace.Subs[i]
+		if rec.Sub.Kind == trace.Setup && rec.Completed {
+			setupDone[jobKey{rec.Sub.TaskID, rec.Sub.Seq}] = rec.Completion
+		}
+	}
+	for i := range res.Trace.Subs {
+		rec := &res.Trace.Subs[i]
+		key := jobKey{rec.Sub.TaskID, rec.Sub.Seq}
+		switch rec.Sub.Kind {
+		case trace.Comp:
+			done, ok := setupDone[key]
+			if !ok {
+				return fail("I2: compensation for %v without a completed setup", rec.Sub)
+			}
+			budget, ok := budgets[rec.Sub.TaskID]
+			if !ok {
+				return fail("I2: compensation for non-offloaded task %d", rec.Sub.TaskID)
+			}
+			if want := done.Add(budget); rec.Release != want {
+				return fail("I2: compensation for %v released at %v, want the Ri timer at %v",
+					rec.Sub, rec.Release, want)
+			}
+		case trace.Post:
+			done, ok := setupDone[key]
+			if !ok {
+				return fail("I2: post-processing for %v without a completed setup", rec.Sub)
+			}
+			budget := budgets[rec.Sub.TaskID]
+			if rec.Release < done || rec.Release > done.Add(budget) {
+				return fail("I2: post-processing for %v released at %v outside [%v, %v]",
+					rec.Sub, rec.Release, done, done.Add(budget))
+			}
+		}
+	}
+
+	// I3 — benefit floor: every job earns at least the local baseline;
+	// hits earn exactly the level benefit.
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if j.Benefit < locals[j.TaskID] {
+			return fail("I3: job τ%d#%d earned %g below local baseline %g",
+				j.TaskID, j.Seq, j.Benefit, locals[j.TaskID])
+		}
+		if j.Outcome == sched.OffloadHit && j.Benefit != levels[j.TaskID] {
+			return fail("I3: hit τ%d#%d earned %g, want level benefit %g",
+				j.TaskID, j.Seq, j.Benefit, levels[j.TaskID])
+		}
+	}
+	if res.TotalBenefit < res.TotalBaseline*(1-1e-12) {
+		return fail("I3: total benefit %g below all-local baseline %g",
+			res.TotalBenefit, res.TotalBaseline)
+	}
+
+	// I5 — accounting coherence per task.
+	for _, c := range tr.Decision.Choices {
+		st := res.PerTask[c.Task.ID]
+		if st == nil {
+			return fail("I5: task %d has no stats", c.Task.ID)
+		}
+		if st.Released != st.Finished {
+			return fail("I5: task %d released %d but finished %d", c.Task.ID, st.Released, st.Finished)
+		}
+		if st.Hits+st.Compensations+st.LocalRuns != st.Finished {
+			return fail("I5: task %d outcomes %d+%d+%d do not partition %d jobs",
+				c.Task.ID, st.Hits, st.Compensations, st.LocalRuns, st.Finished)
+		}
+		if !c.Offload && (st.Hits != 0 || st.Compensations != 0) {
+			return fail("I5: local task %d has offload outcomes", c.Task.ID)
+		}
+		if st.Misses != 0 || st.Aborted != 0 || st.BoundViolations != 0 {
+			return fail("I5: task %d misses=%d aborted=%d boundViolations=%d",
+				c.Task.ID, st.Misses, st.Aborted, st.BoundViolations)
+		}
+	}
+	return nil
+}
+
+// Check runs one full randomized trial from its seed: derive, admit,
+// simulate under chaos, and verify I1–I5. Skipped (infeasible) trials
+// return nil.
+func Check(seed uint64) error {
+	tr, ok, err := NewTrial(seed)
+	if err != nil || !ok {
+		return err
+	}
+	_, err = tr.Run()
+	return err
+}
+
+// CheckAllPassIdentity asserts the bit-identity guarantee: the trial's
+// workload run through an all-pass Injector produces a Result —
+// including per-task statistics and the full execution trace —
+// deep-equal to the same workload run against the unwrapped server.
+// The caller compares; this helper returns both results.
+func (tr *Trial) AllPassPair() (wrapped, bare *sched.Result, err error) {
+	inner, err := tr.newInner()
+	if err != nil {
+		return nil, nil, err
+	}
+	inj, err := chaos.New(inner, chaos.Config{}, stats.NewRNG(stats.DeriveSeed(tr.Seed, streamChaos, 2)))
+	if err != nil {
+		return nil, nil, err
+	}
+	wrapped, err = sched.Run(tr.SimConfig(inj))
+	if err != nil {
+		return nil, nil, err
+	}
+	inner2, err := tr.newInner()
+	if err != nil {
+		return nil, nil, err
+	}
+	bare, err = sched.Run(tr.SimConfig(inner2))
+	if err != nil {
+		return nil, nil, err
+	}
+	return wrapped, bare, nil
+}

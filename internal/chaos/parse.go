@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rtoffload/internal/rtime"
+)
+
+// Preset returns a named fault configuration for the -chaos flags:
+//
+//	off      all-pass (the zero Config)
+//	mild     occasional drops and spikes, rare short hangs
+//	moderate visible loss, duplicates, reordering, bursts and skew
+//	heavy    hostile network: frequent correlated loss and long stalls
+//
+// The presets keep every delay bound well under a second so that they
+// stress the compensation path of sub-second budgets rather than
+// merely saturating it.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "off", "none", "":
+		return Config{}, nil
+	case "mild":
+		return Config{
+			Drop:            0.02,
+			Spike:           0.05,
+			SpikeMax:        rtime.FromMillis(40),
+			Hang:            0.005,
+			HangMax:         rtime.FromMillis(60),
+			SkewBound:       rtime.FromMillis(1),
+			Reorder:         0.02,
+			ReorderDelayMax: rtime.FromMillis(20),
+		}, nil
+	case "moderate":
+		return Config{
+			Drop:            0.08,
+			Dup:             0.05,
+			DupDelayMax:     rtime.FromMillis(30),
+			Reorder:         0.06,
+			ReorderDelayMax: rtime.FromMillis(40),
+			Spike:           0.10,
+			SpikeMax:        rtime.FromMillis(80),
+			Hang:            0.01,
+			HangMax:         rtime.FromMillis(120),
+			GE: GilbertElliott{
+				PGoodBad:    0.04,
+				PBadGood:    0.25,
+				BadLoss:     0.30,
+				BadDelayMax: rtime.FromMillis(60),
+			},
+			SkewBound: rtime.FromMillis(2),
+		}, nil
+	case "heavy":
+		return Config{
+			Drop:            0.18,
+			Dup:             0.10,
+			DupDelayMax:     rtime.FromMillis(60),
+			Reorder:         0.12,
+			ReorderDelayMax: rtime.FromMillis(80),
+			Spike:           0.20,
+			SpikeMax:        rtime.FromMillis(160),
+			Hang:            0.03,
+			HangMax:         rtime.FromMillis(250),
+			GE: GilbertElliott{
+				PGoodBad:    0.08,
+				PBadGood:    0.15,
+				BadLoss:     0.50,
+				BadDelayMax: rtime.FromMillis(120),
+			},
+			SkewBound: rtime.FromMillis(4),
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("chaos: unknown preset %q (off|mild|moderate|heavy)", name)
+	}
+}
+
+// ParseConfig parses a -chaos flag value. The spec is either a preset
+// name (off, mild, moderate, heavy) or a comma-separated key=value
+// list; a leading preset seeds the fields the keys then override:
+//
+//	moderate,drop=0.2,hang-max=300ms
+//
+// Probability keys (floats in [0,1]): drop, dup, reorder, spike, hang,
+// ge-good-bad, ge-bad-good, ge-bad-loss. Duration keys (Go syntax,
+// e.g. 80ms): dup-delay-max, reorder-delay-max, spike-max, hang-max,
+// ge-bad-delay-max, skew-bound. The scale key multiplies every
+// probability configured so far (Config.Scale).
+func ParseConfig(spec string) (Config, error) {
+	cfg := Config{}
+	first := true
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasEq := strings.Cut(part, "=")
+		if !hasEq {
+			if !first {
+				return Config{}, fmt.Errorf("chaos: preset %q must come first in spec %q", part, spec)
+			}
+			p, err := Preset(part)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg = p
+			first = false
+			continue
+		}
+		first = false
+		if err := cfg.set(key, val); err != nil {
+			return Config{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// set applies one key=value override.
+func (c *Config) set(key, val string) error {
+	prob := func(dst *float64) error {
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("chaos: bad probability %s=%q: %v", key, val, err)
+		}
+		*dst = p
+		return nil
+	}
+	dur := func(dst *rtime.Duration) error {
+		d, err := parseDuration(val)
+		if err != nil {
+			return fmt.Errorf("chaos: bad duration %s=%q: %v", key, val, err)
+		}
+		*dst = d
+		return nil
+	}
+	switch key {
+	case "drop":
+		return prob(&c.Drop)
+	case "dup":
+		return prob(&c.Dup)
+	case "reorder":
+		return prob(&c.Reorder)
+	case "spike":
+		return prob(&c.Spike)
+	case "hang":
+		return prob(&c.Hang)
+	case "ge-good-bad":
+		return prob(&c.GE.PGoodBad)
+	case "ge-bad-good":
+		return prob(&c.GE.PBadGood)
+	case "ge-bad-loss":
+		return prob(&c.GE.BadLoss)
+	case "dup-delay-max":
+		return dur(&c.DupDelayMax)
+	case "reorder-delay-max":
+		return dur(&c.ReorderDelayMax)
+	case "spike-max":
+		return dur(&c.SpikeMax)
+	case "hang-max":
+		return dur(&c.HangMax)
+	case "ge-bad-delay-max":
+		return dur(&c.GE.BadDelayMax)
+	case "skew-bound":
+		return dur(&c.SkewBound)
+	case "scale":
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil || x < 0 {
+			return fmt.Errorf("chaos: bad scale %q", val)
+		}
+		*c = c.Scale(x)
+		return nil
+	default:
+		return fmt.Errorf("chaos: unknown key %q", key)
+	}
+}
+
+// parseDuration parses a duration literal with ms/us/s/m suffixes into
+// the repo's microsecond grid. Bare numbers are microseconds.
+func parseDuration(s string) (rtime.Duration, error) {
+	unit := rtime.Microsecond
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		unit, num = rtime.Millisecond, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "us"):
+		unit, num = rtime.Microsecond, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "µs"):
+		unit, num = rtime.Microsecond, strings.TrimSuffix(s, "µs")
+	case strings.HasSuffix(s, "s"):
+		unit, num = rtime.Second, strings.TrimSuffix(s, "s")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, err
+	}
+	return rtime.Duration(v * float64(unit)), nil
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"rtoffload/internal/chaos"
 	"rtoffload/internal/core"
 	"rtoffload/internal/imgproc"
 	"rtoffload/internal/parallel"
@@ -56,6 +57,10 @@ type CaseStudyConfig struct {
 	HorizonSeconds float64
 	// Solver used by the Offloading Decision Manager.
 	Solver core.Solver
+	// Chaos, when enabled, wraps every simulated server in the fault
+	// injector (the zero value is the all-pass config and leaves the
+	// sweep bit-identical to an unwrapped run).
+	Chaos chaos.Config
 }
 
 // DefaultCaseStudyConfig returns the calibrated configuration
@@ -329,9 +334,17 @@ func Figure2(cfg CaseStudyConfig) (*Figure2Result, error) {
 			return Figure2Point{}, fmt.Errorf("exp: work set %d: %w", wi+1, err)
 		}
 		seed := stats.DeriveSeed(cfg.Seed, streamFigure2, uint64(scenario), uint64(wi))
-		srv, err := server.NewQueue(stats.NewRNG(seed), srvCfg)
+		var srv server.Server
+		srv, err = server.NewQueue(stats.NewRNG(seed), srvCfg)
 		if err != nil {
 			return Figure2Point{}, err
+		}
+		if cfg.Chaos.Enabled() {
+			wrapSeed := stats.DeriveSeed(cfg.Seed, streamChaosWrap, uint64(scenario), uint64(wi))
+			srv, err = chaos.New(srv, cfg.Chaos, stats.NewRNG(wrapSeed))
+			if err != nil {
+				return Figure2Point{}, err
+			}
 		}
 		sim, err := sched.Run(sched.Config{
 			Assignments: dec.Assignments(),

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+
+	"rtoffload/internal/chaos"
+	"rtoffload/internal/parallel"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+)
+
+// ChaosAblationRow compares the two deadline-assignment policies at
+// one fault intensity (robustness ablation, DESIGN.md §5.4).
+type ChaosAblationRow struct {
+	// Intensity scales the heavy chaos preset: 0 is a fault-free
+	// network, 1 the full hostile profile.
+	Intensity float64
+	Systems   int
+	// SplitMissRate / NaiveMissRate: fraction of systems with at least
+	// one deadline miss under the faulted server.
+	SplitMissRate float64
+	NaiveMissRate float64
+	// SplitBenefit / NaiveBenefit: mean normalized benefit
+	// (1.0 = all-local baseline).
+	SplitBenefit float64
+	NaiveBenefit float64
+}
+
+// ChaosAblation sweeps fault intensity and simulates Theorem-3
+// admitted offload-heavy systems under both deadline-assignment
+// policies against a responsive server wrapped in the chaos injector
+// (the heavy preset scaled by the intensity). With no faults both
+// policies ride the hit path; as faults force compensation runs, naive
+// EDF's unsplit setup deadlines start missing while deadline splitting
+// holds the hard guarantee and sheds only benefit. Systems fan out on
+// `workers` goroutines (0 = GOMAXPROCS).
+func ChaosAblation(seed uint64, intensities []float64, perLevel, workers int) ([]ChaosAblationRow, error) {
+	if len(intensities) == 0 || perLevel <= 0 {
+		return nil, fmt.Errorf("exp: intensities and perLevel must be non-empty")
+	}
+	for _, x := range intensities {
+		if x < 0 || x > 1 {
+			return nil, fmt.Errorf("exp: intensity %g out of [0,1]", x)
+		}
+	}
+	heavy, err := chaos.Preset("heavy")
+	if err != nil {
+		return nil, err
+	}
+	type sysResult struct {
+		ok                   bool
+		splitMiss, naiveMiss bool
+		splitBen, naiveBen   float64
+	}
+	results, err := parallel.Map(workers, len(intensities)*perLevel, func(i int) (sysResult, error) {
+		li, sysi := i/perLevel, i%perLevel
+		rng := stats.NewRNG(stats.DeriveSeed(seed, streamChaosAblation, uint64(li), uint64(sysi)))
+		asgs, ok := genOffloadSystem(rng, rng.Uniform(0.5, 0.75))
+		if !ok {
+			return sysResult{}, nil
+		}
+		res := sysResult{ok: true}
+		cfg := heavy.Scale(intensities[li])
+		for pi, policy := range []sched.Policy{sched.SplitEDF, sched.NaiveEDF} {
+			sim, err := runUnderChaos(asgs, policy, cfg,
+				stats.DeriveSeed(seed, streamChaosAblation, uint64(li), uint64(sysi), uint64(pi+1)))
+			if err != nil {
+				return sysResult{}, err
+			}
+			if pi == 0 {
+				res.splitMiss = sim.Misses > 0
+				res.splitBen = sim.NormalizedBenefit()
+			} else {
+				res.naiveMiss = sim.Misses > 0
+				res.naiveBen = sim.NormalizedBenefit()
+			}
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChaosAblationRow, 0, len(intensities))
+	for li, x := range intensities {
+		row := ChaosAblationRow{Intensity: x}
+		for _, r := range results[li*perLevel : (li+1)*perLevel] {
+			if !r.ok {
+				continue
+			}
+			row.Systems++
+			if r.splitMiss {
+				row.SplitMissRate++
+			}
+			if r.naiveMiss {
+				row.NaiveMissRate++
+			}
+			row.SplitBenefit += r.splitBen
+			row.NaiveBenefit += r.naiveBen
+		}
+		if row.Systems > 0 {
+			n := float64(row.Systems)
+			row.SplitMissRate /= n
+			row.NaiveMissRate /= n
+			row.SplitBenefit /= n
+			row.NaiveBenefit /= n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runUnderChaos simulates one admitted system under a policy against a
+// deterministic in-budget server wrapped in the fault injector: absent
+// faults every offload request returns at half its budget (the hit
+// path); every injected loss or delay beyond the budget forces the
+// compensation path.
+func runUnderChaos(asgs []sched.Assignment, p sched.Policy, cfg chaos.Config, seed uint64) (*sched.Result, error) {
+	maxT := rtime.Duration(0)
+	var budget rtime.Duration
+	for _, a := range asgs {
+		if a.Task.Period > maxT {
+			maxT = a.Task.Period
+		}
+		if a.Offload {
+			budget = a.Task.Levels[a.Level].Response
+		}
+	}
+	srv, err := chaos.New(server.Fixed{Latency: budget / 2}, cfg, stats.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	return sched.Run(sched.Config{
+		Assignments: asgs,
+		Server:      srv,
+		Horizon:     10 * maxT,
+		Policy:      p,
+	})
+}

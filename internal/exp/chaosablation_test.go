@@ -1,0 +1,52 @@
+package exp
+
+import "testing"
+
+// TestChaosAblationShape checks the robustness story: with no faults
+// the two policies are indistinguishable, and at full intensity the
+// admitted systems still never miss under deadline splitting while the
+// naive assignment starts missing.
+func TestChaosAblationShape(t *testing.T) {
+	rows, err := ChaosAblation(7, []float64{0, 1}, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	calm, hostile := rows[0], rows[1]
+	if calm.Systems == 0 || hostile.Systems == 0 {
+		t.Fatalf("no systems admitted: %+v", rows)
+	}
+	if calm.SplitMissRate != 0 || calm.NaiveMissRate != 0 {
+		t.Errorf("miss rates at intensity 0: split=%g naive=%g, want 0",
+			calm.SplitMissRate, calm.NaiveMissRate)
+	}
+	if calm.SplitBenefit != calm.NaiveBenefit {
+		t.Errorf("benefits at intensity 0 diverge: split=%g naive=%g",
+			calm.SplitBenefit, calm.NaiveBenefit)
+	}
+	if hostile.SplitMissRate != 0 {
+		t.Errorf("split-EDF missed under chaos: rate %g", hostile.SplitMissRate)
+	}
+	if hostile.NaiveMissRate <= 0 {
+		t.Errorf("naive EDF never missed at full intensity across %d systems", hostile.Systems)
+	}
+	if hostile.SplitBenefit >= calm.SplitBenefit {
+		t.Errorf("split benefit did not degrade under chaos: %g vs %g",
+			hostile.SplitBenefit, calm.SplitBenefit)
+	}
+}
+
+// TestChaosAblationValidation covers the argument guards.
+func TestChaosAblationValidation(t *testing.T) {
+	if _, err := ChaosAblation(1, nil, 5, 0); err == nil {
+		t.Error("empty intensities accepted")
+	}
+	if _, err := ChaosAblation(1, []float64{0.5}, 0, 0); err == nil {
+		t.Error("zero perLevel accepted")
+	}
+	if _, err := ChaosAblation(1, []float64{1.5}, 5, 0); err == nil {
+		t.Error("out-of-range intensity accepted")
+	}
+}

@@ -22,4 +22,6 @@ const (
 	streamNaiveEDF
 	streamDBFAblation
 	streamFPAblation
+	streamChaosAblation
+	streamChaosWrap
 )

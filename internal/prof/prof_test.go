@@ -1,0 +1,84 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartNoop: with both paths empty, Start must succeed and hand
+// back a callable stop that touches nothing.
+func TestStartNoop(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+// TestStartWritesProfiles exercises the real path: both profiles are
+// created and non-empty after stop.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	stop()
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartMemOnly skips CPU profiling but still writes the heap
+// profile at stop time.
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+// TestStartUnwritableCPUPath must fail up front, not at stop.
+func TestStartUnwritableCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
+		t.Fatal("Start succeeded with an unwritable cpu path")
+	}
+}
+
+// TestStartDoubleCPUProfile: the runtime rejects a second concurrent
+// CPU profile; Start must surface that and close its file.
+func TestStartDoubleCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "a.out"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if _, err := Start(filepath.Join(dir, "b.out"), ""); err == nil {
+		t.Fatal("second concurrent CPU profile accepted")
+	}
+}
