@@ -6,7 +6,10 @@ MICROBENCH = BenchmarkQPA$$|BenchmarkImproveWithExact|BenchmarkAdmissionChurn
 # The scheduler-engine benchmarks tracked in BENCH_4.json.
 SCHEDBENCH = BenchmarkSchedSplitEDF|BenchmarkSchedNaiveEDF|BenchmarkSchedAbortAtDeadline|BenchmarkFigure2$$
 
-.PHONY: build test vet race verify lint bench bench-sched bench-all bench-smoke profile fmt fmt-check cover fuzz-smoke
+# The admission-service benchmarks tracked in BENCH_6.json.
+ADMITBENCH = BenchmarkAdmitdChurn|BenchmarkAdmitdService
+
+.PHONY: build test vet race verify lint bench bench-sched bench-admitd bench-all bench-smoke smoke-admitd profile fmt fmt-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,8 +31,13 @@ race:
 lint:
 	$(GO) run ./cmd/rtlint -dir .
 
+# Short liveness run of the admission-control service: a couple of
+# deterministic churn streams through cmd/admitd's bench mode.
+smoke-admitd:
+	$(GO) run ./cmd/admitd -bench -tenants 2 -ops 40 -seed 7 > /dev/null
+
 # The pre-merge gate.
-verify: vet lint build race
+verify: vet lint build race smoke-admitd
 
 # Micro-benchmarks of the incremental demand-analysis engine, recorded
 # for regression tracking: benchstat-friendly text in BENCH_2.txt and a
@@ -47,6 +55,15 @@ bench-sched:
 	$(GO) test -run='^$$' -bench='$(SCHEDBENCH)' -benchmem -count=5 . | tee BENCH_4.txt
 	$(GO) run ./cmd/benchjson -label current -merge BENCH_4.json < BENCH_4.txt > BENCH_4.json.tmp
 	mv BENCH_4.json.tmp BENCH_4.json
+
+# Admission-churn benchmarks: incremental path vs full-rebuild
+# reference, recorded like `bench`: text in BENCH_6.txt, a JSON session
+# appended to BENCH_6.json (which already holds the rebuild-baseline
+# entry — do not overwrite it).
+bench-admitd:
+	$(GO) test -run='^$$' -bench='$(ADMITBENCH)' -benchmem -count=5 . | tee BENCH_6.txt
+	$(GO) run ./cmd/benchjson -label current -merge BENCH_6.json < BENCH_6.txt > BENCH_6.json.tmp
+	mv BENCH_6.json.tmp BENCH_6.json
 
 # Smoke-run every benchmark once (no timing value, just liveness).
 bench-all:

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rtoffload/internal/admitd"
 	"rtoffload/internal/core"
 	"rtoffload/internal/dbf"
 	"rtoffload/internal/exp"
@@ -633,4 +634,139 @@ func BenchmarkAdaptive(b *testing.B) {
 		}
 	}
 	b.ReportMetric(adaptive, "adaptive-benefit")
+}
+
+// admitdChurnOp applies one churn operation to the full-rebuild
+// reference: tentative set edit, then a from-scratch core.Decide —
+// the per-arrival cost the pre-incremental admission manager paid.
+func admitdChurnRebuildOp(set task.Set, o admitd.Op, opts core.Options) (task.Set, bool) {
+	var next task.Set
+	switch o.Kind {
+	case admitd.OpAdmit:
+		next = append(set.Clone(), o.Task)
+	case admitd.OpUpdate:
+		next = set.Clone()
+		for i, t := range next {
+			if t.ID == o.ID {
+				next[i] = o.Task
+			}
+		}
+	default:
+		next = make(task.Set, 0, len(set))
+		for _, t := range set.Clone() {
+			if t.ID != o.ID {
+				next = append(next, t)
+			}
+		}
+	}
+	if _, err := core.Decide(next, opts); err != nil {
+		return set, false
+	}
+	return next, true
+}
+
+// benchAdmitdChurn drives the deterministic admitd churn stream
+// through either the incremental core.Admission path or the
+// full-rebuild reference, after priming a steady-state live set.
+func benchAdmitdChurn(b *testing.B, opts core.Options, incremental bool) {
+	const seed, maxLive, prime = 7, 10, 60
+	st := admitd.NewStream(seed, maxLive)
+	if incremental {
+		a := core.NewAdmission(opts)
+		apply := func(o admitd.Op) {
+			var err error
+			switch o.Kind {
+			case admitd.OpAdmit:
+				err = a.Add(o.Task)
+			case admitd.OpUpdate:
+				err = a.Update(o.Task)
+			default:
+				_, err = a.Remove(o.ID)
+			}
+			st.Commit(o, err == nil)
+		}
+		for i := 0; i < prime; i++ {
+			apply(st.Next())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			apply(st.Next())
+		}
+		return
+	}
+	var set task.Set
+	apply := func(o admitd.Op) {
+		next, ok := admitdChurnRebuildOp(set, o, opts)
+		set = next
+		st.Commit(o, ok)
+	}
+	for i := 0; i < prime; i++ {
+		apply(st.Next())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apply(st.Next())
+	}
+}
+
+// BenchmarkAdmitdChurn compares the per-operation cost of online
+// admission churn on the incremental path (persistent caches +
+// analyzer deltas) against the from-scratch rebuild the admission
+// manager used to pay, with and without the exact-upgrade pass. The
+// operation streams are identical, so ns/op is directly comparable.
+func BenchmarkAdmitdChurn(b *testing.B) {
+	for _, tc := range []struct {
+		name        string
+		opts        core.Options
+		incremental bool
+	}{
+		{"rebuild", core.Options{Solver: core.SolverDP}, false},
+		{"rebuild-exact", core.Options{Solver: core.SolverDP, ExactUpgrade: true}, false},
+		{"incremental", core.Options{Solver: core.SolverDP}, true},
+		{"incremental-exact", core.Options{Solver: core.SolverDP, ExactUpgrade: true}, true},
+		{"rebuild-heu-exact", core.Options{Solver: core.SolverHEU, ExactUpgrade: true}, false},
+		{"incremental-heu-exact", core.Options{Solver: core.SolverHEU, ExactUpgrade: true}, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchAdmitdChurn(b, tc.opts, tc.incremental)
+		})
+	}
+}
+
+// BenchmarkAdmitdService measures one operation through the full
+// admission service — shard lookup, locking, incremental re-decision,
+// view rendering — with four tenants churning round-robin.
+func BenchmarkAdmitdService(b *testing.B) {
+	const tenants = 4
+	s := admitd.New(core.Options{Solver: core.SolverDP, ExactUpgrade: true})
+	streams := make([]*admitd.Stream, tenants)
+	names := make([]string, tenants)
+	for i := range streams {
+		streams[i] = admitd.NewStream(uint64(i)+1, 10)
+		names[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	apply := func(i int) {
+		st := streams[i%tenants]
+		o := st.Next()
+		var err error
+		switch o.Kind {
+		case admitd.OpAdmit:
+			_, err = s.Admit(names[i%tenants], o.Task)
+		case admitd.OpUpdate:
+			_, err = s.Update(names[i%tenants], o.Task)
+		default:
+			_, err = s.Evict(names[i%tenants], o.ID)
+		}
+		st.Commit(o, err == nil)
+	}
+	for i := 0; i < 15*tenants; i++ {
+		apply(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apply(i)
+	}
 }

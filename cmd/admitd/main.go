@@ -1,0 +1,79 @@
+// Command admitd runs the online admission-control service.
+//
+// Usage:
+//
+//	admitd [-addr :8080] [-solver dp|heu|bnb] [-exact]           serve HTTP
+//	admitd -bench [-tenants N] [-ops N] [-seed N] [-maxlive N]   sustained-load benchmark
+//
+// In serve mode, tenants stream admit/update/evict requests over the
+// JSON API (see internal/admitd.Handler) and every re-decision rides
+// the incremental analyzer. In bench mode, the configured number of
+// concurrent deterministic churn streams drive the service in-process
+// and the run reports admissions/sec, p50/p99 decision latency, and
+// allocation rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"rtoffload/internal/admitd"
+	"rtoffload/internal/core"
+)
+
+func main() {
+	if err := Run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "admitd:", err)
+		os.Exit(1)
+	}
+}
+
+// Run executes the command against w, so tests can check the exact
+// bytes it prints.
+func Run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("admitd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address (serve mode)")
+		solver  = fs.String("solver", "dp", "MCKP solver: dp, heu, or bnb")
+		exact   = fs.Bool("exact", true, "run the exact-upgrade pass on every re-decision")
+		bench   = fs.Bool("bench", false, "run the sustained-load benchmark instead of serving")
+		tenants = fs.Int("tenants", 8, "concurrent churn streams (bench mode)")
+		ops     = fs.Int("ops", 500, "operations per tenant (bench mode)")
+		seed    = fs.Uint64("seed", 7, "deterministic churn seed (bench mode)")
+		maxlive = fs.Int("maxlive", 0, "admitted-task cap per tenant (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := core.Options{ExactUpgrade: *exact}
+	switch *solver {
+	case "dp":
+		opts.Solver = core.SolverDP
+	case "heu":
+		opts.Solver = core.SolverHEU
+	case "bnb":
+		opts.Solver = core.SolverBnB
+	default:
+		return fmt.Errorf("unknown solver %q (want dp, heu, or bnb)", *solver)
+	}
+
+	s := admitd.New(opts)
+	if *bench {
+		rep, err := admitd.RunLoad(s, admitd.LoadConfig{
+			Tenants: *tenants, Ops: *ops, Seed: *seed, MaxLive: *maxlive,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "solver           %s (exact=%v)\n", opts.Solver, opts.ExactUpgrade)
+		_, err = io.WriteString(w, rep.String())
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "admitd: serving on %s (solver=%s exact=%v)\n", *addr, opts.Solver, opts.ExactUpgrade)
+	return http.ListenAndServe(*addr, s.Handler())
+}

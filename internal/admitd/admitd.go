@@ -1,0 +1,260 @@
+// Package admitd implements the online admission-control service
+// fronting the Offloading Decision Manager: tenants stream
+// admit/update/evict requests, each tenant's task system is an
+// independent shard, and every re-decision rides the incremental
+// core.Admission path — cached per-task MCKP classes and a persistent
+// dbf.Analyzer advanced by O(1) deltas — instead of a from-scratch
+// Decide.
+//
+// Concurrency model: Service.mu guards only the tenant map; each
+// tenant's admission state is guarded by the shard's own mutex, so
+// decisions for different tenants proceed in parallel while each
+// tenant's operation stream is serialized. That serialization is what
+// makes per-tenant decisions bit-identical to a serial replay of the
+// same churn log (TestServiceMatchesSerialReplay). Lock order is
+// Service.mu → tenant.mu, taken together only by the reaper;
+// operation paths release Service.mu before taking the shard lock and
+// retry when the shard was reaped in the gap.
+package admitd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/task"
+)
+
+// ErrUnknownTenant reports an operation against a tenant that has no
+// admitted tasks.
+var ErrUnknownTenant = errors.New("admitd: unknown tenant")
+
+// Service is the concurrent, tenant-sharded admission server.
+type Service struct {
+	opts core.Options
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// tenant is one shard: a single-tenant task system with its own
+// serialized operation stream.
+type tenant struct {
+	mu sync.Mutex
+	// adm holds the shard's admitted set, caches, and persistent exact
+	// analyzer; every mutation goes through its atomic operations.
+	adm *core.Admission
+	// seq counts committed operations; every successful mutation bumps
+	// it, so a DecisionView's seq identifies the churn-log position it
+	// reflects.
+	seq uint64
+	// dead marks a reaped shard: it is no longer in the map, and any
+	// goroutine that raced the reaper must re-lookup.
+	dead bool
+}
+
+// New creates an empty service; every tenant decision uses opts.
+func New(opts core.Options) *Service {
+	return &Service{opts: opts, tenants: map[string]*tenant{}}
+}
+
+// grab returns the named shard with its lock held, creating it when
+// create is set. It retries when the shard is reaped between the map
+// lookup and the shard lock.
+func (s *Service) grab(name string, create bool) (*tenant, bool) {
+	for {
+		s.mu.RLock()
+		tn := s.tenants[name]
+		s.mu.RUnlock()
+		if tn == nil {
+			if !create {
+				return nil, false
+			}
+			s.mu.Lock()
+			tn = s.tenants[name]
+			if tn == nil {
+				tn = &tenant{adm: core.NewAdmission(s.opts)}
+				s.tenants[name] = tn
+			}
+			s.mu.Unlock()
+		}
+		tn.mu.Lock()
+		if tn.dead {
+			tn.mu.Unlock()
+			continue
+		}
+		return tn, true
+	}
+}
+
+// reap removes the shard from the map if it is still registered and
+// still empty. Taking both locks here — map before shard, the one
+// place they nest — is what lets grab detect the race via dead.
+func (s *Service) reap(name string, tn *tenant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if tn.dead || tn.adm.Len() != 0 || s.tenants[name] != tn {
+		return
+	}
+	tn.dead = true
+	delete(s.tenants, name)
+}
+
+// Admit adds a task to the tenant's system if the grown system stays
+// schedulable; the first admit creates the tenant. On rejection the
+// tenant's previous configuration is untouched (an empty tenant
+// created by a rejected first admit is discarded).
+func (s *Service) Admit(name string, t *task.Task) (*DecisionView, error) {
+	tn, _ := s.grab(name, true)
+	err := tn.adm.Add(t)
+	var view *DecisionView
+	if err == nil {
+		tn.seq++
+		view = viewLocked(name, tn)
+	}
+	empty := tn.adm.Len() == 0
+	tn.mu.Unlock()
+	if empty {
+		s.reap(name, tn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}
+
+// Update atomically replaces the admitted task carrying t's ID and
+// re-decides; rejections leave the shard untouched.
+func (s *Service) Update(name string, t *task.Task) (*DecisionView, error) {
+	tn, ok := s.grab(name, false)
+	if !ok {
+		return nil, ErrUnknownTenant
+	}
+	defer tn.mu.Unlock()
+	if err := tn.adm.Update(t); err != nil {
+		return nil, err
+	}
+	tn.seq++
+	return viewLocked(name, tn), nil
+}
+
+// Evict removes a task and re-decides over the shrunk system. The last
+// task's eviction dissolves the tenant. A failed re-decision keeps the
+// task admitted (see core.Admission.Remove) and returns the error.
+func (s *Service) Evict(name string, id int) (*DecisionView, error) {
+	tn, ok := s.grab(name, false)
+	if !ok {
+		return nil, ErrUnknownTenant
+	}
+	removed, err := tn.adm.Remove(id)
+	if err != nil || !removed {
+		tn.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("admitd: task %d %w", id, core.ErrNotAdmitted)
+	}
+	tn.seq++
+	view := viewLocked(name, tn)
+	empty := tn.adm.Len() == 0
+	tn.mu.Unlock()
+	if empty {
+		s.reap(name, tn)
+	}
+	return view, nil
+}
+
+// Decision returns the tenant's current decision.
+func (s *Service) Decision(name string) (*DecisionView, error) {
+	tn, ok := s.grab(name, false)
+	if !ok {
+		return nil, ErrUnknownTenant
+	}
+	defer tn.mu.Unlock()
+	return viewLocked(name, tn), nil
+}
+
+// Tenants lists the tenant names in sorted order.
+func (s *Service) Tenants() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// DecisionView is the wire form of one tenant's current decision: the
+// choice vector plus the exact certificates, resolved to plain values
+// so it serializes without task pointers or big rationals. Expected
+// and TotalExpected round-trip bit-exactly through JSON (encoding/json
+// uses the shortest representation that parses back to the same
+// float64), which the serial-replay differential test relies on.
+type DecisionView struct {
+	Tenant string `json:"tenant"`
+	// Seq is the number of committed operations this view reflects.
+	Seq   uint64 `json:"seq"`
+	Tasks int    `json:"tasks"`
+
+	Solver        string  `json:"solver"`
+	TotalExpected float64 `json:"totalExpected"`
+	// Theorem3 is the exact left-hand side of test (3) as a rational
+	// string; with ExactVerified it may legitimately exceed 1.
+	Theorem3      string       `json:"theorem3"`
+	ExactVerified bool         `json:"exactVerified"`
+	Repaired      int          `json:"repaired"`
+	Offloaded     int          `json:"offloaded"`
+	Choices       []ChoiceView `json:"choices"`
+}
+
+// ChoiceView is one task's decision in wire form.
+type ChoiceView struct {
+	TaskID  int  `json:"taskID"`
+	Offload bool `json:"offload"`
+	Level   int  `json:"level"`
+	// Budget is the chosen response-time budget Ri in microseconds
+	// (0 for local execution).
+	Budget   rtime.Duration `json:"budget"`
+	Expected float64        `json:"expected"`
+}
+
+// viewLocked renders the shard's current decision; the caller holds
+// tn.mu.
+func viewLocked(name string, tn *tenant) *DecisionView {
+	return ViewOf(name, tn.seq, tn.adm.Decision(), tn.adm.Len())
+}
+
+// ViewOf renders a decision snapshot. A nil decision (empty system)
+// yields a view with zero tasks and no choices; it is exported so the
+// differential replay harness can render reference decisions through
+// the identical code path.
+func ViewOf(name string, seq uint64, dec *core.Decision, n int) *DecisionView {
+	v := &DecisionView{Tenant: name, Seq: seq, Tasks: n}
+	if dec == nil {
+		return v
+	}
+	v.Solver = dec.Solver.String()
+	v.TotalExpected = dec.TotalExpected
+	v.Theorem3 = dec.Theorem3Total.RatString()
+	v.ExactVerified = dec.ExactVerified
+	v.Repaired = dec.Repaired
+	v.Offloaded = dec.OffloadedCount()
+	v.Choices = make([]ChoiceView, len(dec.Choices))
+	for i, c := range dec.Choices {
+		v.Choices[i] = ChoiceView{
+			TaskID:   c.Task.ID,
+			Offload:  c.Offload,
+			Level:    c.Level,
+			Budget:   c.Budget(),
+			Expected: c.Expected,
+		}
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package admitd
+
+import (
+	"testing"
+
+	"rtoffload/internal/chaos"
+	"rtoffload/internal/core"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/server"
+	"rtoffload/internal/stats"
+)
+
+// rawDecision exposes the shard's underlying decision for simulation
+// (white-box: the wire view has no task pointers).
+func rawDecision(s *Service, name string) *core.Decision {
+	tn, ok := s.grab(name, false)
+	if !ok {
+		return nil
+	}
+	defer tn.mu.Unlock()
+	return tn.adm.Decision()
+}
+
+// drawChaos samples a fault configuration spanning drop, duplication,
+// reordering, latency spikes, hangs, and Gilbert-Elliott bursts, with
+// delay bounds scaled to the task periods (mirroring the invariant
+// harness's generator).
+func drawChaos(rng *stats.RNG, period rtime.Duration) chaos.Config {
+	dur := func(frac float64) rtime.Duration {
+		max := int64(frac * float64(period))
+		if max < 1 {
+			max = 1
+		}
+		return rtime.Duration(rng.Int64N(max) + 1)
+	}
+	cfg := chaos.Config{}
+	if rng.Bool(0.6) {
+		cfg.Drop = rng.Float64()
+	}
+	if rng.Bool(0.4) {
+		cfg.Dup = rng.Float64()
+		cfg.DupDelayMax = dur(0.5)
+	}
+	if rng.Bool(0.4) {
+		cfg.Reorder = rng.Float64()
+		cfg.ReorderDelayMax = dur(0.5)
+	}
+	if rng.Bool(0.5) {
+		cfg.Spike = rng.Float64()
+		cfg.SpikeMax = dur(1.0)
+	}
+	if rng.Bool(0.3) {
+		cfg.Hang = 0.2 * rng.Float64()
+		cfg.HangMax = dur(1.5)
+	}
+	if rng.Bool(0.4) {
+		cfg.GE = chaos.GilbertElliott{
+			PGoodBad:    rng.Float64(),
+			PBadGood:    0.05 + 0.95*rng.Float64(),
+			BadLoss:     rng.Float64(),
+			BadDelayMax: dur(0.5),
+		}
+	}
+	return cfg
+}
+
+// TestServiceChaosNeverMisses composes the admission service with the
+// chaos fault injector: a tenant churns through admits, updates, and
+// evictions, and after every few operations the then-current admitted
+// configuration is simulated under a random fault schedule. Invariant
+// I1 — an admitted set never misses a deadline, whatever the server
+// does — must hold at every churn position.
+func TestServiceChaosNeverMisses(t *testing.T) {
+	const tenant = "edge"
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := stats.NewRNG(stats.DeriveSeed(seed, 101))
+		s := New(core.Options{Solver: core.SolverDP, ExactUpgrade: true})
+		st := NewStream(seed, 6)
+		for op := 0; op < 30; op++ {
+			o := st.Next()
+			var err error
+			switch o.Kind {
+			case OpAdmit:
+				_, err = s.Admit(tenant, o.Task)
+			case OpUpdate:
+				_, err = s.Update(tenant, o.Task)
+			default:
+				_, err = s.Evict(tenant, o.ID)
+			}
+			st.Commit(o, err == nil)
+			if op%5 != 4 {
+				continue
+			}
+			dec := rawDecision(s, tenant)
+			if dec == nil || len(dec.Choices) == 0 {
+				continue
+			}
+			maxPeriod := rtime.Duration(0)
+			for _, c := range dec.Choices {
+				if c.Task.Period > maxPeriod {
+					maxPeriod = c.Task.Period
+				}
+			}
+			inner := server.Fixed{Latency: rtime.Duration(rng.Int64N(int64(maxPeriod)) + 1)}
+			inj, err := chaos.New(inner, drawChaos(rng, maxPeriod), stats.NewRNG(stats.DeriveSeed(seed, 102, uint64(op))))
+			if err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+			res, err := sched.Run(sched.Config{
+				Assignments: dec.Assignments(),
+				Server:      inj,
+				Horizon:     3 * maxPeriod,
+				Policy:      sched.SplitEDF,
+				RNG:         stats.NewRNG(stats.DeriveSeed(seed, 103, uint64(op))),
+			})
+			if err != nil {
+				t.Fatalf("seed %d op %d: sim: %v", seed, op, err)
+			}
+			if res.Misses != 0 {
+				t.Fatalf("seed %d op %d: I1 violated — %d deadline misses under faults", seed, op, res.Misses)
+			}
+			for i := range res.Jobs {
+				j := &res.Jobs[i]
+				if j.Missed || !j.Finished {
+					t.Fatalf("seed %d op %d: I1 violated — job τ%d#%d missed (finished=%v)",
+						seed, op, j.TaskID, j.Seq, j.Finished)
+				}
+			}
+		}
+	}
+}

@@ -101,10 +101,12 @@ func DefaultTargets() []Target {
 		// deterministic experiment engine, and cmd wall-clock timers must
 		// carry explicit directives.
 		{Determinism, func(relDir, base string) bool { return true }},
-		// Exact-analysis code: the dbf tier ladder and the exact upgrade
-		// pass over it.
+		// Exact-analysis code: the dbf tier ladder, the exact upgrade
+		// pass over it, and the budget estimator whose Ri values feed
+		// the exact admission analysis.
 		{FloatExact, func(relDir, base string) bool {
-			return relDir == "internal/dbf" || (relDir == "internal/core" && base == "exact.go")
+			return relDir == "internal/dbf" ||
+				(relDir == "internal/core" && (base == "exact.go" || base == "estimator.go"))
 		}},
 		// Demand arithmetic; frac.go hosts the checked helpers and is the
 		// one file allowed to do raw int64 work.

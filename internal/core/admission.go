@@ -1,22 +1,63 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math/big"
 
+	"rtoffload/internal/dbf"
+	"rtoffload/internal/mckp"
 	"rtoffload/internal/task"
+)
+
+// Sentinel errors wrapped by the admission operations so callers (the
+// admitd service in particular) can map rejection causes to transport
+// status codes with errors.Is instead of string matching.
+var (
+	// ErrAlreadyAdmitted: Add was called with the ID of a task that is
+	// already part of the admitted set.
+	ErrAlreadyAdmitted = errors.New("already admitted")
+	// ErrNotAdmitted: Update referenced an ID that is not admitted.
+	ErrNotAdmitted = errors.New("not admitted")
 )
 
 // Admission is the online face of the Offloading Decision Manager: it
 // maintains a current task set and decision, re-deciding when tasks
-// arrive or leave and rejecting arrivals that would make the system
-// unschedulable even with every task local. With Options.ExactUpgrade
-// set, every re-decision is additionally upgraded through the
-// incremental dbf.Analyzer's exact QPA oracle, so churn stays cheap
-// even when the exact test is in the loop.
+// arrive, change, or leave, and rejecting any request whose grown or
+// shrunk system the decision pipeline cannot certify schedulable.
+//
+// Every re-decision is incremental: per-task MCKP classes and exact
+// demand models are cached at admission time, and with
+// Options.ExactUpgrade the exact QPA oracle runs over one persistent
+// dbf.Analyzer that is kept in sync with the current decision by O(1)
+// append/remove/swap deltas instead of being rebuilt from scratch. The
+// decisions produced are nevertheless bit-identical to a from-scratch
+// Decide over the same task set — that is the differential contract
+// TestAdmissionMatchesRebuild enforces.
+//
+// Atomicity invariant: Add, Update, and Remove either commit fully —
+// the task set, the caches, the analyzer, and the decision all advance
+// together — or reject with an error and leave every piece of state
+// exactly as it was. A rejected call never leaves a stale decision or
+// a half-admitted task behind; after an error, Decision() still
+// describes the currently admitted set.
 type Admission struct {
 	opts  Options
 	tasks task.Set
 	dec   *Decision
+
+	// Per-task caches, index-aligned with tasks.
+	classes []mckp.Class
+	maps    [][]classMap
+	locals  []dbf.Demand
+	levels  [][]dbf.Demand
+
+	// Exact-upgrade state (maintained only when opts.ExactUpgrade):
+	// az's slot i always holds azDemands[i], the exact demand of
+	// dec.Choices[i]. A nil az is rebuilt from the caches on the next
+	// re-decision.
+	az        *dbf.Analyzer
+	azDemands []dbf.Demand
 }
 
 // NewAdmission creates an empty admission manager.
@@ -31,49 +72,298 @@ func (a *Admission) Decision() *Decision { return a.dec }
 // Tasks returns a copy of the currently admitted set.
 func (a *Admission) Tasks() task.Set { return a.tasks.Clone() }
 
+// Len returns the number of admitted tasks.
+func (a *Admission) Len() int { return len(a.tasks) }
+
+// cloneTask deep-copies one task so admitted state never aliases
+// caller-owned memory.
+func cloneTask(t *task.Task) *task.Task {
+	c := *t
+	c.Levels = append([]task.Level(nil), t.Levels...)
+	return &c
+}
+
 // Add admits a task if the grown system remains schedulable; on
-// rejection the previous configuration is kept untouched.
+// rejection the previous configuration is kept untouched. The task is
+// copied, so later caller mutations do not affect the admitted state.
 func (a *Admission) Add(t *task.Task) error {
 	if t == nil {
 		return fmt.Errorf("core: nil task")
 	}
-	if a.tasks.ByID(t.ID) != nil {
-		return fmt.Errorf("core: task %d already admitted", t.ID)
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("core: admission of task %d rejected: %w", t.ID, err)
 	}
-	grown := append(a.tasks.Clone(), t)
-	dec, err := Decide(grown, a.opts)
+	if a.tasks.ByID(t.ID) != nil {
+		return fmt.Errorf("core: task %d %w", t.ID, ErrAlreadyAdmitted)
+	}
+	t = cloneTask(t)
+	tc := buildTaskCache(t)
+	n := len(a.tasks)
+	tasks := append(a.tasks[:n:n], t)
+	classes := append(a.classes[:n:n], tc.class)
+	maps := append(a.maps[:n:n], tc.cm)
+	locals := append(a.locals[:n:n], tc.local)
+	levels := append(a.levels[:n:n], tc.levels)
+	dec, azd, err := a.redecide(tasks, classes, maps, locals, levels, structOp{kind: opGrow})
 	if err != nil {
 		return fmt.Errorf("core: admission of task %d rejected: %w", t.ID, err)
 	}
-	a.tasks = grown
-	a.dec = dec
+	a.commit(tasks, classes, maps, locals, levels, dec, azd)
+	return nil
+}
+
+// Update atomically replaces the admitted task with t's ID by t and
+// re-decides; on rejection (including an unknown ID) the previous
+// configuration is kept untouched.
+func (a *Admission) Update(t *task.Task) error {
+	if t == nil {
+		return fmt.Errorf("core: nil task")
+	}
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("core: update of task %d rejected: %w", t.ID, err)
+	}
+	idx := a.indexOf(t.ID)
+	if idx < 0 {
+		return fmt.Errorf("core: task %d %w", t.ID, ErrNotAdmitted)
+	}
+	t = cloneTask(t)
+	tc := buildTaskCache(t)
+	tasks := a.tasks.Clone()
+	tasks[idx] = t
+	classes := append([]mckp.Class(nil), a.classes...)
+	classes[idx] = tc.class
+	maps := append([][]classMap(nil), a.maps...)
+	maps[idx] = tc.cm
+	locals := append([]dbf.Demand(nil), a.locals...)
+	locals[idx] = tc.local
+	levels := append([][]dbf.Demand(nil), a.levels...)
+	levels[idx] = tc.levels
+	dec, azd, err := a.redecide(tasks, classes, maps, locals, levels, structOp{kind: opSame})
+	if err != nil {
+		return fmt.Errorf("core: update of task %d rejected: %w", t.ID, err)
+	}
+	a.commit(tasks, classes, maps, locals, levels, dec, azd)
 	return nil
 }
 
 // Remove drops a task and re-decides (more capacity usually means more
-// offloading). It reports whether the task was present.
+// offloading). It reports whether the task was removed: (false, nil)
+// for an unknown ID, and (false, err) when the shrunk system's
+// re-decision fails — the task then stays admitted and the previous
+// decision remains valid (Theorem 3 is only sufficient, so a set that
+// was certified through the exact upgrade can lose its Theorem-3
+// certificate when a task leaves).
 func (a *Admission) Remove(id int) (bool, error) {
-	idx := -1
-	for i, t := range a.tasks {
-		if t.ID == id {
-			idx = i
-			break
-		}
-	}
+	idx := a.indexOf(id)
 	if idx < 0 {
 		return false, nil
 	}
-	shrunk := append(a.tasks[:idx:idx].Clone(), a.tasks[idx+1:].Clone()...)
-	if len(shrunk) == 0 {
-		a.tasks = nil
-		a.dec = nil
+	if len(a.tasks) == 1 {
+		a.commit(nil, nil, nil, nil, nil, nil, nil)
+		a.az = nil
 		return true, nil
 	}
-	dec, err := Decide(shrunk, a.opts)
+	tasks := append(a.tasks[:idx:idx].Clone(), a.tasks[idx+1:].Clone()...)
+	classes := removeAt(a.classes, idx)
+	maps := removeAt(a.maps, idx)
+	locals := removeAt(a.locals, idx)
+	levels := removeAt(a.levels, idx)
+	dec, azd, err := a.redecide(tasks, classes, maps, locals, levels, structOp{kind: opShrink, idx: idx})
 	if err != nil {
-		return true, fmt.Errorf("core: re-decision after removing %d failed: %w", id, err)
+		return false, fmt.Errorf("core: re-decision after removing %d failed: %w", id, err)
 	}
-	a.tasks = shrunk
-	a.dec = dec
+	a.commit(tasks, classes, maps, locals, levels, dec, azd)
 	return true, nil
+}
+
+// indexOf returns the position of the task with the given ID, or −1.
+func (a *Admission) indexOf(id int) int {
+	for i, t := range a.tasks {
+		if t.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt returns a copy of xs without element i.
+func removeAt[T any](xs []T, i int) []T {
+	out := make([]T, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+// commit installs a fully re-decided configuration.
+func (a *Admission) commit(tasks task.Set, classes []mckp.Class, maps [][]classMap,
+	locals []dbf.Demand, levels [][]dbf.Demand, dec *Decision, azd []dbf.Demand) {
+	a.tasks = tasks
+	a.classes = classes
+	a.maps = maps
+	a.locals = locals
+	a.levels = levels
+	a.dec = dec
+	a.azDemands = azd
+}
+
+// structOp describes how the tentative configuration relates to the
+// committed one, so the analyzer sync can apply the matching
+// structural delta.
+type structOp struct {
+	kind int
+	idx  int // removed position for opShrink
+}
+
+const (
+	opSame   = iota // same length, same positions
+	opGrow          // one task appended at the end
+	opShrink        // task at idx removed, order preserved
+)
+
+// redecide runs the decision pipeline — solve, assemble, repair, and
+// (with ExactUpgrade) the warm-started exact upgrade — over a
+// tentative configuration. All fallible steps (solver, repair) run
+// before any shared state is touched, so a returned error implies a
+// has not been mutated; the analyzer is only advanced afterwards,
+// during the infallible upgrade phase, and the caller always commits
+// on success.
+func (a *Admission) redecide(tasks task.Set, classes []mckp.Class, maps [][]classMap,
+	locals []dbf.Demand, levels [][]dbf.Demand, op structOp) (*Decision, []dbf.Demand, error) {
+	in := &mckp.Instance{Capacity: 1, Classes: classes}
+	sol, err := solveMCKP(in, a.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := assembleDecision(tasks, maps, sol, a.opts.Solver)
+	theorem3 := func(cs []Choice) (*big.Rat, bool) { return theorem3Cached(cs, locals, levels) }
+	if err := repairDecision(d, theorem3); err != nil {
+		return nil, nil, err
+	}
+	if !a.opts.ExactUpgrade {
+		return d, nil, nil
+	}
+	out := &Decision{
+		Choices:       append([]Choice(nil), d.Choices...),
+		TotalExpected: d.TotalExpected,
+		Solver:        d.Solver,
+		Repaired:      d.Repaired,
+		ExactVerified: true,
+	}
+	want := demandsFromCaches(out.Choices, locals, levels)
+	var az *dbf.Analyzer
+	if want != nil {
+		az = a.syncedAnalyzer(want, op)
+	}
+	if az != nil {
+		improveLoop(out, az, levels)
+		want = demandsFromCaches(out.Choices, locals, levels)
+	}
+	a.az = az
+	total, _ := theorem3(out.Choices)
+	out.Theorem3Total = total
+	return out, want, nil
+}
+
+// syncedAnalyzer brings the persistent analyzer in line with want (the
+// demands of the freshly repaired decision) using O(1) structural and
+// swap deltas against azDemands; any inconsistency falls back to a
+// fresh build. It returns nil only when want contains a demand the
+// caches could not model — then the upgrade is skipped, exactly as the
+// from-scratch path skips it when its analyzer construction fails.
+func (a *Admission) syncedAnalyzer(want []dbf.Demand, op structOp) *dbf.Analyzer {
+	az := a.az
+	cur := a.azDemands
+	curAt := func(i int) dbf.Demand {
+		if op.kind == opShrink && i >= op.idx {
+			return cur[i+1]
+		}
+		return cur[i]
+	}
+	expectLen := len(want)
+	if op.kind == opGrow {
+		expectLen--
+	} else if op.kind == opShrink {
+		expectLen++
+	}
+	if az == nil || len(cur) != expectLen || az.Len() != expectLen {
+		az = nil
+	}
+	if az != nil {
+		switch op.kind {
+		case opGrow:
+			if az.Append(want[len(want)-1]) != nil {
+				az = nil
+			}
+		case opShrink:
+			if az.Remove(op.idx) != nil {
+				az = nil
+			}
+		}
+	}
+	if az != nil {
+		limit := len(want)
+		if op.kind == opGrow {
+			limit-- // the appended slot already holds want's tail
+		}
+		for i := 0; i < limit; i++ {
+			if want[i] == curAt(i) {
+				continue
+			}
+			if az.Swap(i, want[i]) != nil {
+				az = nil
+				break
+			}
+		}
+	}
+	if az == nil {
+		fresh, err := dbf.NewAnalyzer(want)
+		if err != nil {
+			return nil
+		}
+		az = fresh
+	}
+	return az
+}
+
+// demandsFromCaches resolves every choice to its cached exact demand;
+// nil when any choice lacks a valid demand model (which mirrors the
+// from-scratch path's analyzer-construction failure).
+func demandsFromCaches(choices []Choice, locals []dbf.Demand, levels [][]dbf.Demand) []dbf.Demand {
+	out := make([]dbf.Demand, len(choices))
+	for i, c := range choices {
+		var d dbf.Demand
+		if c.Offload {
+			d = levels[i][c.Level]
+		} else {
+			d = locals[i]
+		}
+		if d == nil {
+			return nil
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// theorem3Cached evaluates the exact Theorem-3 test from the cached
+// demand models, value-identical to theorem3Of (same constructors,
+// same summation order, exact rational arithmetic throughout).
+func theorem3Cached(choices []Choice, locals []dbf.Demand, levels [][]dbf.Demand) (*big.Rat, bool) {
+	var off []dbf.Offloaded
+	var loc []dbf.Sporadic
+	for i, c := range choices {
+		if c.Offload {
+			o, ok := levels[i][c.Level].(dbf.Offloaded)
+			if !ok {
+				return big.NewRat(2, 1), false // invalid split: over-dense
+			}
+			off = append(off, o)
+		} else {
+			s, ok := locals[i].(dbf.Sporadic)
+			if !ok {
+				return big.NewRat(2, 1), false
+			}
+			loc = append(loc, s)
+		}
+	}
+	return dbf.Theorem3(off, loc)
 }

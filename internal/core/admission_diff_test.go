@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/task"
+)
+
+// randomAdmissionTask draws one valid offloadable task for churn
+// tests, or nil when the generator rounds itself invalid.
+func randomAdmissionTask(rng *stats.RNG, id int) *task.Task {
+	period := rtime.FromMillis(rng.UniformInt(20, 800))
+	deadline := period
+	if rng.Bool(0.25) {
+		deadline = period/2 + rtime.Duration(rng.Int64N(int64(period/2)))
+	}
+	c := rtime.Duration(rng.Int64N(int64(deadline/3))) + 1
+	tk := &task.Task{
+		ID: id, Period: period, Deadline: deadline,
+		LocalWCET: c, Setup: c/4 + 1, Compensation: c,
+		PostProcess:  c / 4,
+		LocalBenefit: rng.Uniform(0, 3),
+		Weight:       rng.Uniform(0.5, 3),
+	}
+	nlv := rng.IntN(3) + 1
+	prevR, prevB := rtime.Duration(0), tk.LocalBenefit
+	for j := 0; j < nlv; j++ {
+		r := prevR + rtime.Duration(rng.Int64N(int64(deadline)))/rtime.Duration(nlv+1) + 1
+		b := prevB + rng.Uniform(0.1, 2)
+		tk.Levels = append(tk.Levels, task.Level{Response: r, Benefit: b})
+		prevR, prevB = r, b
+	}
+	if tk.Validate() != nil {
+		return nil
+	}
+	return tk
+}
+
+// requireSameDecision asserts bit-identity between the incremental
+// admission decision and the from-scratch Decide reference: same
+// choices, bitwise-equal float objective, Cmp-equal exact total, same
+// repair count and verification flag.
+func requireSameDecision(t *testing.T, got, want *Decision, ctx string) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil decision (got %v, want %v)", ctx, got, want)
+	}
+	if len(got.Choices) != len(want.Choices) {
+		t.Fatalf("%s: %d choices, reference has %d", ctx, len(got.Choices), len(want.Choices))
+	}
+	for i := range got.Choices {
+		g, w := got.Choices[i], want.Choices[i]
+		if g.Task.ID != w.Task.ID || g.Offload != w.Offload || g.Level != w.Level || g.Expected != w.Expected {
+			t.Fatalf("%s: choice %d differs: got {id=%d off=%v lv=%d exp=%x} want {id=%d off=%v lv=%d exp=%x}",
+				ctx, i, g.Task.ID, g.Offload, g.Level, g.Expected, w.Task.ID, w.Offload, w.Level, w.Expected)
+		}
+	}
+	if got.TotalExpected != want.TotalExpected {
+		t.Fatalf("%s: TotalExpected %x vs reference %x", ctx, got.TotalExpected, want.TotalExpected)
+	}
+	if got.Theorem3Total.Cmp(want.Theorem3Total) != 0 {
+		t.Fatalf("%s: Theorem3Total %v vs reference %v", ctx, got.Theorem3Total, want.Theorem3Total)
+	}
+	if got.Repaired != want.Repaired || got.ExactVerified != want.ExactVerified || got.Solver != want.Solver {
+		t.Fatalf("%s: metadata differs: got {rep=%d exact=%v solver=%v} want {rep=%d exact=%v solver=%v}",
+			ctx, got.Repaired, got.ExactVerified, got.Solver, want.Repaired, want.ExactVerified, want.Solver)
+	}
+}
+
+// runAdmissionChurnDifferential drives one random add/update/remove
+// sequence through an Admission, checking after every committed
+// operation that the incremental decision is bit-identical to a full
+// Decide rebuild of the same set, and after every rejected operation
+// that the state was left untouched.
+func runAdmissionChurnDifferential(t *testing.T, opts Options, seed uint64, ops int) {
+	t.Helper()
+	rng := stats.NewRNG(stats.DeriveSeed(seed, 11))
+	a := NewAdmission(opts)
+	nextID := 0
+	for op := 0; op < ops; op++ {
+		before := a.Decision()
+		nBefore := a.Len()
+		switch {
+		case a.Len() == 0 || rng.Bool(0.45):
+			tk := randomAdmissionTask(rng, nextID)
+			nextID++
+			if tk == nil {
+				continue
+			}
+			if err := a.Add(tk); err != nil {
+				if a.Decision() != before || a.Len() != nBefore {
+					t.Fatalf("seed %d op %d: rejected Add mutated state", seed, op)
+				}
+				continue
+			}
+		case rng.Bool(0.4):
+			ts := a.Tasks()
+			tk := randomAdmissionTask(rng, ts[rng.IntN(len(ts))].ID)
+			if tk == nil {
+				continue
+			}
+			if err := a.Update(tk); err != nil {
+				if a.Decision() != before || a.Len() != nBefore {
+					t.Fatalf("seed %d op %d: rejected Update mutated state", seed, op)
+				}
+				continue
+			}
+		default:
+			ts := a.Tasks()
+			ok, err := a.Remove(ts[rng.IntN(len(ts))].ID)
+			if err != nil || !ok {
+				t.Fatalf("seed %d op %d: Remove: %v %v", seed, op, ok, err)
+			}
+		}
+		if a.Len() == 0 {
+			if a.Decision() != nil {
+				t.Fatalf("seed %d op %d: decision survives empty set", seed, op)
+			}
+			continue
+		}
+		ref, err := Decide(a.Tasks(), opts)
+		if err != nil {
+			t.Fatalf("seed %d op %d: reference Decide on committed set failed: %v", seed, op, err)
+		}
+		requireSameDecision(t, a.Decision(), ref, "churn")
+	}
+}
+
+// TestAdmissionMatchesRebuild is the differential contract of the
+// incremental admission path: across solvers, with and without the
+// exact upgrade, every committed decision is bit-identical to what a
+// from-scratch Decide would produce for the same task set.
+func TestAdmissionMatchesRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"dp", Options{Solver: SolverDP}},
+		{"heu", Options{Solver: SolverHEU}},
+		{"bnb", Options{Solver: SolverBnB}},
+		{"heu-exact", Options{Solver: SolverHEU, ExactUpgrade: true}},
+		{"bnb-exact", Options{Solver: SolverBnB, ExactUpgrade: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				runAdmissionChurnDifferential(t, tc.opts, seed, 40)
+			}
+		})
+	}
+}
+
+// TestAdmissionRemoveAtomic forces a re-decision failure during Remove
+// (via an unknown solver, white-box) and asserts the documented
+// invariant: the removal is rejected, the task stays admitted, and the
+// previous decision remains current.
+func TestAdmissionRemoveAtomic(t *testing.T) {
+	a := NewAdmission(Options{Solver: SolverDP})
+	set := twoTaskSet()
+	if err := a.Add(set[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(set[1]); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Decision()
+	a.opts.Solver = Solver(99) // make the next re-decision fail
+	ok, err := a.Remove(set[0].ID)
+	if err == nil || ok {
+		t.Fatalf("Remove with failing re-decision: ok=%v err=%v", ok, err)
+	}
+	if a.Len() != 2 || a.Decision() != before {
+		t.Fatal("failed Remove mutated state")
+	}
+	a.opts.Solver = SolverDP
+	if ok, err := a.Remove(set[0].ID); err != nil || !ok {
+		t.Fatalf("Remove after restoring solver: ok=%v err=%v", ok, err)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d after successful Remove", a.Len())
+	}
+}
+
+// TestAdmissionUpdate covers the Update contract: in-place level
+// changes re-decide, unknown IDs and invalid or overloading updates
+// are rejected without mutating state.
+func TestAdmissionUpdate(t *testing.T) {
+	a := NewAdmission(Options{Solver: SolverDP})
+	tk := &task.Task{
+		ID: 1, Period: ms(100), Deadline: ms(100),
+		LocalWCET: ms(10), Setup: ms(5), Compensation: ms(10),
+		LocalBenefit: 1,
+		Levels:       []task.Level{{Response: ms(20), Benefit: 2}},
+	}
+	if err := a.Add(tk); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(nil); err == nil {
+		t.Fatal("nil update accepted")
+	}
+	if err := a.Update(heavyLocalTask(9, ms(1), ms(100))); err == nil {
+		t.Fatal("update of unknown ID accepted")
+	}
+	before := a.Decision()
+	// Overloading update: 2× the deadline cannot be scheduled.
+	if err := a.Update(heavyLocalTask(1, ms(99), ms(100))); err != nil {
+		t.Fatalf("valid heavy update rejected: %v", err)
+	}
+	if a.Decision() == before || a.Decision().Choices[0].Offload {
+		t.Fatal("update did not re-decide")
+	}
+	// Now an update that makes the set infeasible must roll back.
+	bad := heavyLocalTask(1, ms(100), ms(100))
+	if err := a.Add(heavyLocalTask(2, ms(1), ms(100))); err != nil {
+		t.Fatal(err)
+	}
+	grown := a.Decision()
+	if err := a.Update(bad); err == nil {
+		// 100% + co-runner cannot fit; if it somehow does, skip.
+		t.Skip("expected infeasible update was admitted")
+	}
+	if a.Len() != 2 || a.Decision() != grown {
+		t.Fatal("rejected update mutated state")
+	}
+	if got := a.Tasks().ByID(1).LocalWCET; got != ms(99) {
+		t.Fatalf("task 1 WCET %v after rejected update, want %v", got, ms(99))
+	}
+}

@@ -164,40 +164,72 @@ type classMap struct {
 	level   int
 }
 
-// buildInstance constructs the MCKP instance of §5.2: per task, item 0
-// is local execution (wi,1 = Ci/Ti, profit weight·Gi(0)) and one item
+// ratOne is the Theorem-3 capacity bound. Cmp never mutates it.
+var ratOne = big.NewRat(1, 1)
+
+// taskCache is the per-task decision state that depends only on the
+// task itself: its MCKP class, the item→(offload, level) map, and the
+// exact demand models of every choice. Decide derives it per call; the
+// online Admission manager caches one per admitted task so re-decisions
+// skip the big.Rat weight arithmetic and demand construction entirely.
+type taskCache struct {
+	class mckp.Class
+	cm    []classMap
+	// local is the dbf.Sporadic demand of local execution (nil only
+	// when the task cannot form a valid sporadic model, which Validate
+	// excludes).
+	local dbf.Demand
+	// levels holds the candidate dbf.Offloaded demand per offloading
+	// level; nil entries mark levels that cannot form a valid split
+	// model and are never feasible. Unlike the MCKP items, over-dense
+	// levels (w > 1) are present — the exact-upgrade pass may still
+	// admit them.
+	levels []dbf.Demand
+}
+
+// buildTaskCache constructs one task's MCKP class per §5.2 — item 0 is
+// local execution (wi,1 = Ci/Di, profit weight·Gi(0)), plus one item
 // per offloading level j with wi,j = (Ci,1+Ci,2)/(Di−ri,j) and profit
-// weight·Gi(ri,j). Levels whose response budget leaves no room
-// (ri,j ≥ Di or wi,j > 1) are excluded — they can never be part of a
-// feasible configuration.
+// weight·Gi(ri,j); levels whose budget leaves no room (ri,j ≥ Di or
+// wi,j > 1) are excluded, as they can never satisfy Theorem 3 — along
+// with the cached demand models of every choice.
+func buildTaskCache(t *task.Task) taskCache {
+	c := taskCache{class: mckp.Class{Label: t.Name}}
+	localW, _ := t.Density().Float64()
+	c.class.Items = append(c.class.Items, mckp.Item{Weight: localW, Profit: t.EffectiveWeight() * t.LocalBenefit})
+	c.cm = append(c.cm, classMap{offload: false})
+	if s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period); err == nil {
+		c.local = s
+	}
+	c.levels = make([]dbf.Demand, len(t.Levels))
+	for j := range t.Levels {
+		o, errSplit := dbf.NewOffloaded(t.SetupAt(j), t.SecondPhaseAt(j), t.Deadline, t.Period, t.Levels[j].Response)
+		if errSplit == nil {
+			c.levels[j] = o
+		}
+		w, err := t.OffloadWeight(j)
+		if err != nil || errSplit != nil {
+			continue // budget ≥ deadline or invalid split: never feasible
+		}
+		if w.Cmp(ratOne) > 0 {
+			continue // over-dense for Theorem 3
+		}
+		wf, _ := w.Float64()
+		c.class.Items = append(c.class.Items, mckp.Item{Weight: wf, Profit: t.EffectiveWeight() * t.Levels[j].Benefit})
+		c.cm = append(c.cm, classMap{offload: true, level: j})
+	}
+	return c
+}
+
+// buildInstance constructs the MCKP instance of §5.2 over the whole
+// set (see buildTaskCache for the per-task reduction).
 func buildInstance(set task.Set) (*mckp.Instance, [][]classMap, error) {
 	in := &mckp.Instance{Capacity: 1}
 	maps := make([][]classMap, len(set))
 	for i, t := range set {
-		cls := mckp.Class{Label: t.Name}
-		var cm []classMap
-		localW, _ := t.Density().Float64()
-		cls.Items = append(cls.Items, mckp.Item{Weight: localW, Profit: t.EffectiveWeight() * t.LocalBenefit})
-		cm = append(cm, classMap{offload: false})
-		for j := range t.Levels {
-			w, err := t.OffloadWeight(j)
-			if err != nil {
-				continue // budget ≥ deadline: never feasible
-			}
-			// Reject over-dense levels and levels whose split deadline
-			// would be unschedulable in isolation.
-			if w.Cmp(big.NewRat(1, 1)) > 0 {
-				continue
-			}
-			if _, err := dbf.NewOffloaded(t.SetupAt(j), t.SecondPhaseAt(j), t.Deadline, t.Period, t.Levels[j].Response); err != nil {
-				continue
-			}
-			wf, _ := w.Float64()
-			cls.Items = append(cls.Items, mckp.Item{Weight: wf, Profit: t.EffectiveWeight() * t.Levels[j].Benefit})
-			cm = append(cm, classMap{offload: true, level: j})
-		}
-		in.Classes = append(in.Classes, cls)
-		maps[i] = cm
+		tc := buildTaskCache(t)
+		in.Classes = append(in.Classes, tc.class)
+		maps[i] = tc.cm
 	}
 	return in, maps, nil
 }
@@ -217,8 +249,25 @@ func Decide(set task.Set, opts Options) (*Decision, error) {
 	if err != nil {
 		return nil, err
 	}
+	sol, err := solveMCKP(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := assembleDecision(set, maps, sol, opts.Solver)
+	if err := repairDecision(d, theorem3Of); err != nil {
+		return nil, err
+	}
+	if opts.ExactUpgrade {
+		return ImproveWithExact(d, set)
+	}
+	return d, nil
+}
 
+// solveMCKP runs the configured MCKP solver, mapping the solver's
+// infeasibility to ErrInfeasible.
+func solveMCKP(in *mckp.Instance, opts Options) (mckp.Solution, error) {
 	var sol mckp.Solution
+	var err error
 	switch opts.Solver {
 	case SolverDP:
 		sol, err = mckp.SolveDP(in, opts.DPResolution)
@@ -231,16 +280,20 @@ func Decide(set task.Set, opts Options) (*Decision, error) {
 	case SolverBnB:
 		sol, err = mckp.SolveBnB(in)
 	default:
-		return nil, fmt.Errorf("core: unknown solver %d", int(opts.Solver))
+		return sol, fmt.Errorf("core: unknown solver %d", int(opts.Solver))
 	}
 	if errors.Is(err, mckp.ErrInfeasible) {
-		return nil, ErrInfeasible
+		return sol, ErrInfeasible
 	}
-	if err != nil {
-		return nil, err
-	}
+	return sol, err
+}
 
-	d := &Decision{Solver: opts.Solver}
+// assembleDecision translates a solver solution into a Decision,
+// accumulating TotalExpected in set order (float accumulation order is
+// part of the decision's bit-identity contract between the from-scratch
+// and incremental paths).
+func assembleDecision(set task.Set, maps [][]classMap, sol mckp.Solution, solver Solver) *Decision {
+	d := &Decision{Solver: solver}
 	for i, t := range set {
 		cm := maps[i][sol.Choice[i]]
 		ch := Choice{Task: t, Offload: cm.offload, Level: cm.level}
@@ -252,20 +305,24 @@ func Decide(set task.Set, opts Options) (*Decision, error) {
 		d.Choices = append(d.Choices, ch)
 		d.TotalExpected += ch.Expected
 	}
+	return d
+}
 
-	// Exact verification + repair: float accumulation in the solvers
-	// can, in principle, admit a configuration a hair over 1. Downgrade
-	// the offloaded choice with the smallest benefit loss until the
-	// exact test passes.
+// repairDecision is the exact verification + repair pass: float
+// accumulation in the solvers can, in principle, admit a configuration
+// a hair over 1. Downgrade the offloaded choice with the smallest
+// benefit loss until the exact test (evaluated by theorem3, which must
+// agree with theorem3Of) passes.
+func repairDecision(d *Decision, theorem3 func([]Choice) (*big.Rat, bool)) error {
 	for {
-		total, ok := theorem3Of(d.Choices)
+		total, ok := theorem3(d.Choices)
 		if ok {
 			d.Theorem3Total = total
-			break
+			return nil
 		}
 		idx := cheapestDowngrade(d.Choices)
 		if idx < 0 {
-			return nil, ErrInfeasible
+			return ErrInfeasible
 		}
 		c := &d.Choices[idx]
 		d.TotalExpected -= c.Expected
@@ -275,10 +332,6 @@ func Decide(set task.Set, opts Options) (*Decision, error) {
 		d.TotalExpected += c.Expected
 		d.Repaired++
 	}
-	if opts.ExactUpgrade {
-		return ImproveWithExact(d, set)
-	}
-	return d, nil
 }
 
 // theorem3Of evaluates the exact test for a choice vector.

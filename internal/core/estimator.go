@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/big"
+	"sort"
 
 	"rtoffload/internal/benefit"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/server"
-	"rtoffload/internal/stats"
 	"rtoffload/internal/task"
 )
 
@@ -40,23 +42,73 @@ func (c EstimatorConfig) Validate() error {
 	if c.Spacing <= 0 {
 		return fmt.Errorf("core: estimator needs positive spacing")
 	}
+	//rtlint:allow floatexact -- range check on a user-supplied float parameter, not time arithmetic
 	if c.Quantile <= 0 || c.Quantile > 1 {
 		return fmt.Errorf("core: estimator quantile %g out of (0,1]", c.Quantile)
 	}
+	//rtlint:allow floatexact -- range check on a user-supplied float parameter, not time arithmetic
 	if c.Margin < 0 {
 		return fmt.Errorf("core: negative estimator margin %g", c.Margin)
 	}
 	return nil
 }
 
-// budgetFrom converts observed latencies into a budget estimate.
+// budgetFrom converts observed latencies into a budget estimate: the
+// exact nearest-rank Quantile of the integer latencies, inflated by
+// Margin in exact rational arithmetic with the result rounded *up* to
+// the next microsecond tick. The budgets feed the exact admission
+// analysis, so the estimate must never round below the observed
+// quantile — the earlier float64 ECDF path could both misrank the
+// quantile (⌈q·n⌉ computed in floats can land one rank off) and
+// truncate the margin multiply down by a tick.
 func (c EstimatorConfig) budgetFrom(lats []rtime.Duration) rtime.Duration {
-	xs := make([]float64, len(lats))
-	for i, l := range lats {
-		xs[i] = float64(l)
+	if len(lats) == 0 {
+		return 0
 	}
-	q := stats.NewECDF(xs).Quantile(c.Quantile)
-	return rtime.Duration(q * (1 + c.Margin))
+	s := append([]rtime.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return inflateBudget(s[nearestRank(c.Quantile, len(s))], c.Margin)
+}
+
+// nearestRank returns the 0-based nearest-rank index ⌈q·n⌉−1, clamped
+// into [0, n−1]. Every float64 is a dyadic rational, so SetFloat64 is
+// lossless and the ceiling is exact.
+func nearestRank(q float64, n int) int {
+	r := new(big.Rat).SetFloat64(q)
+	if r == nil || r.Sign() <= 0 {
+		return 0
+	}
+	// ⌈num·n/den⌉ − 1 = ⌊(num·n − 1)/den⌋ for positive operands.
+	idx := new(big.Int).Mul(r.Num(), big.NewInt(int64(n)))
+	idx.Div(idx.Sub(idx, big.NewInt(1)), r.Denom())
+	if !idx.IsInt64() || idx.Int64() >= int64(n) {
+		return n - 1
+	}
+	if i := idx.Int64(); i > 0 {
+		return int(i)
+	}
+	return 0
+}
+
+// inflateBudget returns base + ⌈base·margin⌉ exactly, saturating at
+// the int64 ceiling. Rounding the margin contribution up is the
+// conservative direction: a safety margin that silently shrinks by a
+// tick defeats its purpose.
+func inflateBudget(base rtime.Duration, margin float64) rtime.Duration {
+	m := new(big.Rat).SetFloat64(margin)
+	if m == nil || m.Sign() <= 0 {
+		return base
+	}
+	extra := new(big.Int).Mul(big.NewInt(int64(base)), m.Num())
+	q, rem := new(big.Int).QuoRem(extra, m.Denom(), new(big.Int))
+	if rem.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	q.Add(q, big.NewInt(int64(base)))
+	if !q.IsInt64() {
+		return rtime.Duration(math.MaxInt64)
+	}
+	return rtime.Duration(q.Int64())
 }
 
 // EstimateBudgets probes srv with each level's payload and overwrites
@@ -140,11 +192,13 @@ func EstimateFunction(srv server.Server, payloadBytes int64, cfg EstimatorConfig
 	if len(lats) == 0 {
 		return nil, fmt.Errorf("core: no probe responses for payload %d", payloadBytes)
 	}
+	//rtlint:allow floatexact -- arrival fraction is a probability feeding float benefit values, not time arithmetic
 	arrivalFrac := float64(len(lats)) / float64(cfg.Probes)
 	f, err := benefit.FromResponseSamples(lats, quantiles, 0)
 	if err != nil {
 		return nil, err
 	}
+	//rtlint:allow floatexact -- probability comparison on the benefit scale, not time arithmetic
 	if arrivalFrac >= 1 {
 		return f, nil
 	}

@@ -328,6 +328,97 @@ func (a *Analyzer) swapStat(i int, d Demand, st demandStat) {
 	a.recompute()
 }
 
+// Append grows the configuration by one demand at the end, updating
+// the cached aggregates with an O(1) delta. The current tier absorbs
+// the new demand when it can (narrow: checked frac additions; scaled:
+// the new denominator must divide the cached common denominator); a
+// full recompute runs only when it cannot, and may re-select a
+// cheaper tier.
+func (a *Analyzer) Append(d Demand) error {
+	st, ok := newDemandStat(d)
+	if !ok {
+		return fmt.Errorf("dbf: nil demand")
+	}
+	a.ds = append(a.ds, d)
+	a.stats = append(a.stats, st)
+	switch a.mode {
+	case modeNarrow:
+		if !st.wide {
+			if r, ok := a.rate.add(st.rate); ok {
+				if b, ok2 := a.burst.add(st.burst); ok2 {
+					a.rate, a.burst = r, b
+					return nil
+				}
+			}
+		}
+	case modeScaled:
+		if st.rawDen != 0 && a.t1.Mod(a.den, a.t2.SetInt64(st.rawDen)).Sign() == 0 {
+			// The cached lcm already covers the new denominator: extend
+			// the multiplier table and add the scaled numerators.
+			a.mult = append(a.mult, big.Int{})
+			m := &a.mult[len(a.mult)-1]
+			m.Div(a.den, a.t1.SetInt64(st.rawDen))
+			a.rateN.Add(a.rateN, a.t1.Mul(a.t2.SetInt64(st.rawRate), m))
+			a.burstN.Add(a.burstN, a.t1.Mul(a.t2.SetInt64(st.rawBurst), m))
+			return nil
+		}
+	case modeWide:
+		last := &a.stats[len(a.stats)-1]
+		a.rateRat.Add(a.rateRat, last.rateR())
+		a.burstRat.Add(a.burstRat, last.burstR())
+		return nil
+	}
+	a.recompute()
+	return nil
+}
+
+// Remove deletes demand i, preserving the order of the remaining
+// demands, and updates the cached aggregates with an O(1) delta
+// (plus the slice shift). The scaled tier keeps its cached common
+// denominator — a superset lcm stays a valid exact denominator — so
+// removals never force a recompute there.
+func (a *Analyzer) Remove(i int) error {
+	if i < 0 || i >= len(a.ds) {
+		return fmt.Errorf("dbf: demand index %d out of range [0,%d)", i, len(a.ds))
+	}
+	old := a.stats[i]
+	copy(a.ds[i:], a.ds[i+1:])
+	a.ds[len(a.ds)-1] = nil
+	a.ds = a.ds[:len(a.ds)-1]
+	copy(a.stats[i:], a.stats[i+1:])
+	a.stats[len(a.stats)-1] = demandStat{}
+	a.stats = a.stats[:len(a.stats)-1]
+	switch a.mode {
+	case modeNarrow:
+		// Subtraction re-reduces through the denominators' lcm, which
+		// can itself overflow int64; fall back to a recompute then.
+		if r, ok := a.rate.sub(old.rate); ok {
+			if b, ok2 := a.burst.sub(old.burst); ok2 {
+				a.rate, a.burst = r, b
+				return nil
+			}
+		}
+	case modeScaled:
+		m := &a.mult[i]
+		a.rateN.Sub(a.rateN, a.t1.Mul(a.t2.SetInt64(old.rawRate), m))
+		a.burstN.Sub(a.burstN, a.t1.Mul(a.t2.SetInt64(old.rawBurst), m))
+		copy(a.mult[i:], a.mult[i+1:])
+		// Zero the vacated tail slot: the struct shift leaves it aliasing
+		// the last live entry's backing array, and a later recompute that
+		// re-slices mult and mutates the slot in place would corrupt that
+		// entry through the shared array.
+		a.mult[len(a.mult)-1] = big.Int{}
+		a.mult = a.mult[:len(a.mult)-1]
+		return nil
+	case modeWide:
+		a.rateRat.Sub(a.rateRat, old.rateR())
+		a.burstRat.Sub(a.burstRat, old.burstR())
+		return nil
+	}
+	a.recompute()
+	return nil
+}
+
 // With runs f with demand i temporarily replaced by d, restoring the
 // previous configuration afterwards, and returns f's result. The
 // restore reuses the cached stat, so a full trial costs two O(1)

@@ -120,6 +120,26 @@ func runAnalyzerDifferential(t *testing.T, seed uint64, n, swaps int) {
 	}
 	checkAnalyzerAgainstFresh(t, az, "initial")
 	for s := 0; s < swaps; s++ {
+		// Churn ops first: grow and shrink the configuration so the
+		// append/remove delta paths (and their tier transitions) see the
+		// same differential scrutiny as swaps.
+		if rng.Bool(0.2) {
+			if d := randomSwapDemand(rng); d != nil {
+				if err := az.Append(d); err != nil {
+					t.Fatalf("seed %d swap %d: Append: %v", seed, s, err)
+				}
+				checkAnalyzerAgainstFresh(t, az, "after Append")
+			}
+			continue
+		}
+		if az.Len() > 1 && rng.Bool(0.2) {
+			i := rng.IntN(az.Len())
+			if err := az.Remove(i); err != nil {
+				t.Fatalf("seed %d swap %d: Remove(%d): %v", seed, s, i, err)
+			}
+			checkAnalyzerAgainstFresh(t, az, "after Remove")
+			continue
+		}
 		i := rng.IntN(az.Len())
 		d := randomSwapDemand(rng)
 		if d == nil {
@@ -204,7 +224,54 @@ func TestAnalyzerArgumentErrors(t *testing.T) {
 	if err := az.With(-1, s, func(*Analyzer) error { return nil }); err == nil {
 		t.Error("out-of-range With accepted")
 	}
+	if err := az.Append(nil); err == nil {
+		t.Error("nil Append accepted")
+	}
+	if err := az.Remove(1); err == nil {
+		t.Error("out-of-range Remove accepted")
+	}
+	if err := az.Remove(-1); err == nil {
+		t.Error("negative Remove accepted")
+	}
 	if az.Len() != 1 {
 		t.Errorf("Len = %d", az.Len())
+	}
+}
+
+// TestAnalyzerAppendRemoveRoundTrip grows an Analyzer one demand at a
+// time from empty, checking against a fresh analysis at every size,
+// then shrinks it back down removing from varying positions. This
+// covers the empty→narrow→scaled/wide transitions and the stale-lcm
+// scaled removals that the random churn may not hit.
+func TestAnalyzerAppendRemoveRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(97)
+	az, err := NewAnalyzer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		d := randomSwapDemand(rng)
+		if d == nil {
+			continue
+		}
+		if err := az.Append(d); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		checkAnalyzerAgainstFresh(t, az, "grow")
+	}
+	pos := 0
+	for az.Len() > 0 {
+		i := pos % az.Len()
+		pos += 3
+		if err := az.Remove(i); err != nil {
+			t.Fatalf("Remove(%d) at len %d: %v", i, az.Len(), err)
+		}
+		checkAnalyzerAgainstFresh(t, az, "shrink")
+	}
+	if az.Len() != 0 {
+		t.Fatalf("Len = %d after draining", az.Len())
+	}
+	if err := az.Feasible(); err != nil {
+		t.Fatalf("empty analyzer infeasible: %v", err)
 	}
 }
