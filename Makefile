@@ -9,7 +9,13 @@ SCHEDBENCH = BenchmarkSchedSplitEDF|BenchmarkSchedNaiveEDF|BenchmarkSchedAbortAt
 # The admission-service benchmarks tracked in BENCH_6.json.
 ADMITBENCH = BenchmarkAdmitdChurn|BenchmarkAdmitdService
 
-.PHONY: build test vet race verify lint bench bench-sched bench-admitd bench-all bench-smoke smoke-admitd profile fmt fmt-check cover fuzz-smoke
+# The MCKP core-solver benchmarks tracked in BENCH_7.json: the
+# fleet-scale cold/warm solver curves plus the admission churn they
+# accelerate. The stateless BnB/DP runs double as the baseline label.
+MCKPBENCH = BenchmarkMCKPCoreSolve|BenchmarkMCKPCoreResolve|BenchmarkAdmitdChurn
+MCKPBASE = BenchmarkMCKPBaselineBnB|BenchmarkMCKPBaselineDP
+
+.PHONY: build test vet race verify lint bench bench-sched bench-admitd bench-mckp bench-all bench-smoke smoke-admitd smoke-mckp profile fmt fmt-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,8 +42,15 @@ lint:
 smoke-admitd:
 	$(GO) run ./cmd/admitd -bench -tenants 2 -ops 40 -seed 7 > /dev/null
 
+# Fast functional pass over the core-solver differential tests: the
+# solver-vs-BnB/brute agreement, the incremental bit-identity churn,
+# and the admission wiring, without the full suite's simulation cost.
+smoke-mckp:
+	$(GO) test -count=1 ./internal/mckp -run 'TestSolver|TestFleetInstanceSolvable|FuzzMCKPSolverAgreement'
+	$(GO) test -count=1 ./internal/core -run 'TestAdmissionMatchesRebuild|TestAdmissionCore'
+
 # The pre-merge gate.
-verify: vet lint build race smoke-admitd
+verify: vet lint build race smoke-mckp smoke-admitd
 
 # Micro-benchmarks of the incremental demand-analysis engine, recorded
 # for regression tracking: benchstat-friendly text in BENCH_2.txt and a
@@ -64,6 +77,19 @@ bench-admitd:
 	$(GO) test -run='^$$' -bench='$(ADMITBENCH)' -benchmem -count=5 . | tee BENCH_6.txt
 	$(GO) run ./cmd/benchjson -label current -merge BENCH_6.json < BENCH_6.txt > BENCH_6.json.tmp
 	mv BENCH_6.json.tmp BENCH_6.json
+
+# MCKP core-solver benchmarks: fleet-scale cold solves and warm
+# incremental re-solves against the stateless BnB/DP baselines, plus
+# the admission churn that rides the persistent solver. The baseline
+# session is regenerated each run (the stateless solvers still exist in
+# tree), so BENCH_7.json is written fresh rather than merged.
+bench-mckp:
+	$(GO) test -run='^$$' -bench='$(MCKPBASE)' -benchmem -count=5 ./internal/mckp > BENCH_7.base.txt
+	$(GO) test -run='^$$' -bench='$(MCKPBENCH)' -benchmem -count=5 ./internal/mckp . | tee BENCH_7.txt
+	$(GO) run ./cmd/benchjson -label baseline < BENCH_7.base.txt > BENCH_7.json
+	$(GO) run ./cmd/benchjson -label current -merge BENCH_7.json < BENCH_7.txt > BENCH_7.json.tmp
+	mv BENCH_7.json.tmp BENCH_7.json
+	rm -f BENCH_7.base.txt
 
 # Smoke-run every benchmark once (no timing value, just liveness).
 bench-all:
@@ -104,6 +130,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzEngineMatchesReference -fuzztime=10s
 	$(GO) test ./internal/dbf -run='^$$' -fuzz=FuzzAnalyzerDifferential -fuzztime=10s
 	$(GO) test ./internal/chaos/invariant -run='^$$' -fuzz=FuzzChaosHardGuarantee -fuzztime=10s
+	$(GO) test ./internal/mckp -run='^$$' -fuzz=FuzzMCKPSolverAgreement -fuzztime=10s
 
 fmt:
 	gofmt -l -w .

@@ -728,6 +728,9 @@ func BenchmarkAdmitdChurn(b *testing.B) {
 		{"incremental-exact", core.Options{Solver: core.SolverDP, ExactUpgrade: true}, true},
 		{"rebuild-heu-exact", core.Options{Solver: core.SolverHEU, ExactUpgrade: true}, false},
 		{"incremental-heu-exact", core.Options{Solver: core.SolverHEU, ExactUpgrade: true}, true},
+		{"rebuild-core-exact", core.Options{Solver: core.SolverCore, ExactUpgrade: true}, false},
+		{"incremental-core", core.Options{Solver: core.SolverCore}, true},
+		{"incremental-core-exact", core.Options{Solver: core.SolverCore, ExactUpgrade: true}, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			benchAdmitdChurn(b, tc.opts, tc.incremental)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	admitd [-addr :8080] [-solver dp|heu|bnb] [-exact]           serve HTTP
+//	admitd [-addr :8080] [-solver dp|heu|bnb|core] [-exact]      serve HTTP
 //	admitd -bench [-tenants N] [-ops N] [-seed N] [-maxlive N]   sustained-load benchmark
 //
 // In serve mode, tenants stream admit/update/evict requests over the
@@ -37,7 +37,7 @@ func Run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("admitd", flag.ContinueOnError)
 	var (
 		addr    = fs.String("addr", ":8080", "listen address (serve mode)")
-		solver  = fs.String("solver", "dp", "MCKP solver: dp, heu, or bnb")
+		solver  = fs.String("solver", "dp", "MCKP solver: dp, heu, bnb, or core")
 		exact   = fs.Bool("exact", true, "run the exact-upgrade pass on every re-decision")
 		bench   = fs.Bool("bench", false, "run the sustained-load benchmark instead of serving")
 		tenants = fs.Int("tenants", 8, "concurrent churn streams (bench mode)")
@@ -57,8 +57,10 @@ func Run(w io.Writer, args []string) error {
 		opts.Solver = core.SolverHEU
 	case "bnb":
 		opts.Solver = core.SolverBnB
+	case "core":
+		opts.Solver = core.SolverCore
 	default:
-		return fmt.Errorf("unknown solver %q (want dp, heu, or bnb)", *solver)
+		return fmt.Errorf("unknown solver %q (want dp, heu, bnb, or core)", *solver)
 	}
 
 	s := admitd.New(opts)

@@ -10,7 +10,7 @@
 //	    Print per-task parameters, the all-local utilization and the
 //	    exact schedulability verdicts.
 //
-//	rtoffload decide [-solver dp|heu|brute|greedy] tasks.json
+//	rtoffload decide [-solver core|dp|heu|brute|greedy] tasks.json
 //	    Run the Offloading Decision Manager and print the selected
 //	    configuration with its Theorem-3 total.
 //
@@ -142,7 +142,7 @@ func loadSet(args []string) (task.Set, error) {
 }
 
 func solverFlag(fs *flag.FlagSet) *string {
-	return fs.String("solver", "dp", "decision solver: dp | heu | brute | greedy | server-faster")
+	return fs.String("solver", "dp", "decision solver: dp | heu | brute | greedy | bnb | core | server-faster")
 }
 
 func parseSolver(s string) (core.Solver, error) {
@@ -157,6 +157,8 @@ func parseSolver(s string) (core.Solver, error) {
 		return core.SolverGreedy, nil
 	case "bnb":
 		return core.SolverBnB, nil
+	case "core":
+		return core.SolverCore, nil
 	case "server-faster":
 		return core.SolverServerFaster, nil
 	default:

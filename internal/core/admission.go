@@ -58,6 +58,15 @@ type Admission struct {
 	// re-decision.
 	az        *dbf.Analyzer
 	azDemands []dbf.Demand
+
+	// Persistent MCKP solver (maintained for the solvers that profit
+	// from cached per-class preprocessing: SolverCore, SolverDP,
+	// SolverHEU). Its class i always mirrors the committed classes[i];
+	// redecide advances it by one structural delta before solving and
+	// rolls the delta back if the re-decision is rejected, mirroring
+	// the analyzer's sync discipline. A nil mk is rebuilt from the
+	// tentative classes on the next re-decision.
+	mk *mckp.Solver
 }
 
 // NewAdmission creates an empty admission manager.
@@ -138,7 +147,7 @@ func (a *Admission) Update(t *task.Task) error {
 	locals[idx] = tc.local
 	levels := append([][]dbf.Demand(nil), a.levels...)
 	levels[idx] = tc.levels
-	dec, azd, err := a.redecide(tasks, classes, maps, locals, levels, structOp{kind: opSame})
+	dec, azd, err := a.redecide(tasks, classes, maps, locals, levels, structOp{kind: opSame, idx: idx})
 	if err != nil {
 		return fmt.Errorf("core: update of task %d rejected: %w", t.ID, err)
 	}
@@ -161,6 +170,9 @@ func (a *Admission) Remove(id int) (bool, error) {
 	if len(a.tasks) == 1 {
 		a.commit(nil, nil, nil, nil, nil, nil, nil)
 		a.az = nil
+		if a.mk != nil {
+			a.mk.Reset() // keep the arenas warm for the next admission
+		}
 		return true, nil
 	}
 	tasks := append(a.tasks[:idx:idx].Clone(), a.tasks[idx+1:].Clone()...)
@@ -210,11 +222,11 @@ func (a *Admission) commit(tasks task.Set, classes []mckp.Class, maps [][]classM
 // structural delta.
 type structOp struct {
 	kind int
-	idx  int // removed position for opShrink
+	idx  int // replaced position for opSame, removed position for opShrink
 }
 
 const (
-	opSame   = iota // same length, same positions
+	opSame   = iota // same length, task at idx replaced
 	opGrow          // one task appended at the end
 	opShrink        // task at idx removed, order preserved
 )
@@ -229,14 +241,20 @@ const (
 func (a *Admission) redecide(tasks task.Set, classes []mckp.Class, maps [][]classMap,
 	locals []dbf.Demand, levels [][]dbf.Demand, op structOp) (*Decision, []dbf.Demand, error) {
 	in := &mckp.Instance{Capacity: 1, Classes: classes}
-	sol, err := solveMCKP(in, a.opts)
-	if err != nil {
+	sol, synced, err := a.solveIncremental(in, classes, op)
+	fail := func(err error) (*Decision, []dbf.Demand, error) {
+		if synced {
+			a.rollbackSolver(op)
+		}
 		return nil, nil, err
+	}
+	if err != nil {
+		return fail(err)
 	}
 	d := assembleDecision(tasks, maps, sol, a.opts.Solver)
 	theorem3 := func(cs []Choice) (*big.Rat, bool) { return theorem3Cached(cs, locals, levels) }
 	if err := repairDecision(d, theorem3); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if !a.opts.ExactUpgrade {
 		return d, nil, nil
@@ -261,6 +279,98 @@ func (a *Admission) redecide(tasks task.Set, classes []mckp.Class, maps [][]clas
 	total, _ := theorem3(out.Choices)
 	out.Theorem3Total = total
 	return out, want, nil
+}
+
+// usesPersistentSolver reports whether the configured solver runs on
+// the persistent mckp.Solver (and so profits from its cached per-class
+// frontiers across re-decisions). The remaining solvers (brute, greedy,
+// branch-and-bound) keep the stateless per-call path.
+func (a *Admission) usesPersistentSolver() bool {
+	switch a.opts.Solver {
+	case SolverCore, SolverDP, SolverHEU:
+		return true
+	}
+	return false
+}
+
+// solveIncremental solves the tentative instance, routing through the
+// persistent solver when the configured algorithm supports it. mutated
+// reports whether a.mk was advanced to the tentative configuration (the
+// caller must roll it back if the re-decision is later rejected); it is
+// true even when the solve itself fails, and false when the sync never
+// touched the solver. The solutions are bit-identical to the stateless
+// path: that is the persistent solver's warm/cold contract, enforced
+// here by TestAdmissionMatchesRebuild.
+func (a *Admission) solveIncremental(in *mckp.Instance, classes []mckp.Class, op structOp) (sol mckp.Solution, mutated bool, err error) {
+	if !a.usesPersistentSolver() {
+		sol, err = solveMCKP(in, a.opts)
+		return sol, false, err
+	}
+	if err := a.syncSolver(in, classes, op); err != nil {
+		return mckp.Solution{}, false, err
+	}
+	switch a.opts.Solver {
+	case SolverCore:
+		sol, err = a.mk.Solve()
+	case SolverDP:
+		sol, err = a.mk.SolveDP(a.opts.DPResolution)
+	case SolverHEU:
+		sol, err = a.mk.SolveHEU()
+	}
+	if errors.Is(err, mckp.ErrInfeasible) {
+		err = ErrInfeasible
+	}
+	return sol, true, err
+}
+
+// syncSolver advances the persistent solver from the committed classes
+// to the tentative ones by the single structural delta op describes —
+// O(1) class work plus an upgrade-pool merge, against the full rebuild
+// a stateless solver would pay. A missing or desynchronized solver is
+// rebuilt from the tentative classes; a sync error leaves a.mk exactly
+// as it was.
+func (a *Admission) syncSolver(in *mckp.Instance, classes []mckp.Class, op structOp) error {
+	if a.mk == nil || a.mk.Len() != len(a.classes) {
+		mk, err := mckp.NewSolverFrom(in)
+		if err != nil {
+			return err
+		}
+		a.mk = mk
+		return nil
+	}
+	switch op.kind {
+	case opGrow:
+		return a.mk.Append(classes[len(classes)-1])
+	case opSame:
+		return a.mk.Swap(op.idx, classes[op.idx])
+	case opShrink:
+		return a.mk.Remove(op.idx)
+	}
+	return fmt.Errorf("core: unknown struct op %d", op.kind)
+}
+
+// rollbackSolver undoes the structural delta syncSolver applied, using
+// the still-committed a.classes as the source of truth. The inverse
+// delta is correct even when syncSolver rebuilt the solver from the
+// tentative classes: applying it to the tentative configuration yields
+// the committed one either way. The inverse operations cannot fail on
+// classes that were committed before; if one does, the solver is
+// dropped and rebuilt on the next re-decision.
+func (a *Admission) rollbackSolver(op structOp) {
+	var err error
+	switch op.kind {
+	case opGrow:
+		err = a.mk.Remove(a.mk.Len() - 1)
+	case opSame:
+		err = a.mk.Swap(op.idx, a.classes[op.idx])
+	case opShrink:
+		err = a.mk.Insert(op.idx, a.classes[op.idx])
+	default:
+		err = fmt.Errorf("core: unknown struct op %d", op.kind)
+	}
+	if err != nil {
+		a.mk = nil
+	}
 }
 
 // syncedAnalyzer brings the persistent analyzer in line with want (the

@@ -140,8 +140,10 @@ func TestAdmissionMatchesRebuild(t *testing.T) {
 		{"dp", Options{Solver: SolverDP}},
 		{"heu", Options{Solver: SolverHEU}},
 		{"bnb", Options{Solver: SolverBnB}},
+		{"core", Options{Solver: SolverCore}},
 		{"heu-exact", Options{Solver: SolverHEU, ExactUpgrade: true}},
 		{"bnb-exact", Options{Solver: SolverBnB, ExactUpgrade: true}},
+		{"core-exact", Options{Solver: SolverCore, ExactUpgrade: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for seed := uint64(1); seed <= 6; seed++ {
@@ -149,6 +151,91 @@ func TestAdmissionMatchesRebuild(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestAdmissionCoreLongChurn is a longer serial replay on the solvers
+// that run over the persistent mckp.Solver, so the cached frontiers and
+// the upgrade pool survive hundreds of structural deltas while staying
+// bit-identical to rebuild-plus-cold-solve. Rejected operations along
+// the way exercise the solver rollback path for every delta kind.
+func TestAdmissionCoreLongChurn(t *testing.T) {
+	ops := 250
+	if testing.Short() {
+		ops = 60
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"core", Options{Solver: SolverCore}},
+		{"core-exact", Options{Solver: SolverCore, ExactUpgrade: true}},
+		{"dp", Options{Solver: SolverDP}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runAdmissionChurnDifferential(t, tc.opts, 7, ops)
+		})
+	}
+}
+
+// TestAdmissionChurnParallelRaceClean churns several independent
+// admissions concurrently (each its own goroutine, seed, and solver
+// state). Admission itself is not concurrency-safe, but distinct
+// instances must share nothing — under -race this catches any hidden
+// package-level state in the persistent solver's arenas or caches.
+func TestAdmissionChurnParallelRaceClean(t *testing.T) {
+	opts := []Options{
+		{Solver: SolverCore},
+		{Solver: SolverCore, ExactUpgrade: true},
+		{Solver: SolverDP},
+		{Solver: SolverHEU, ExactUpgrade: true},
+	}
+	done := make(chan struct{})
+	for i, o := range opts {
+		go func(i int, o Options) {
+			defer func() { done <- struct{}{} }()
+			runAdmissionChurnDifferential(t, o, 20+uint64(i), 30)
+		}(i, o)
+	}
+	for range opts {
+		<-done
+	}
+}
+
+// TestAdmissionCoreRollback pins the persistent-solver rollback on the
+// grow and replace deltas: a rejected Add or Update must leave the warm
+// solver mirroring the committed classes, so the next committed
+// decision is still bit-identical to a from-scratch Decide.
+func TestAdmissionCoreRollback(t *testing.T) {
+	opts := Options{Solver: SolverCore}
+	a := NewAdmission(opts)
+	if err := a.Add(heavyLocalTask(1, ms(60), ms(100))); err != nil {
+		t.Fatal(err)
+	}
+	// Growing by a second 60%-utilization local-only task overloads the
+	// processor: rejected, exercising the opGrow rollback.
+	if err := a.Add(heavyLocalTask(2, ms(60), ms(100))); err == nil {
+		t.Skip("expected overload admission unexpectedly succeeded")
+	}
+	if err := a.Add(heavyLocalTask(3, ms(10), ms(100))); err != nil {
+		t.Fatalf("light admission after rejection: %v", err)
+	}
+	ref, err := Decide(a.Tasks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDecision(t, a.Decision(), ref, "after opGrow rollback")
+	// An overloading Update is rejected, exercising the opSame rollback.
+	if err := a.Update(heavyLocalTask(3, ms(60), ms(100))); err == nil {
+		t.Skip("expected overload update unexpectedly succeeded")
+	}
+	if err := a.Update(heavyLocalTask(3, ms(20), ms(100))); err != nil {
+		t.Fatalf("light update after rejection: %v", err)
+	}
+	ref, err = Decide(a.Tasks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDecision(t, a.Decision(), ref, "after opSame rollback")
 }
 
 // TestAdmissionRemoveAtomic forces a re-decision failure during Remove

@@ -56,6 +56,12 @@ const (
 	// quantization, so it resolves hairline-fit instances the DP grid
 	// rounds away.
 	SolverBnB
+	// SolverCore is the Dudzinski–Walukiewicz core method (mckp.Solver):
+	// exact like SolverBnB, but with LP-dual reduced-cost fixing and a
+	// Pareto-dominance sweep over the residual core, built for
+	// fleet-sized choice sets and incremental re-solves. Admission
+	// keeps one persistent mckp.Solver warm across re-decisions.
+	SolverCore
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +77,8 @@ func (s Solver) String() string {
 		return "greedy"
 	case SolverBnB:
 		return "branch-and-bound"
+	case SolverCore:
+		return "core"
 	case SolverServerFaster:
 		return "server-faster"
 	default:
@@ -279,6 +287,11 @@ func solveMCKP(in *mckp.Instance, opts Options) (mckp.Solution, error) {
 		sol, err = mckp.SolveGreedy(in)
 	case SolverBnB:
 		sol, err = mckp.SolveBnB(in)
+	case SolverCore:
+		var s *mckp.Solver
+		if s, err = mckp.NewSolverFrom(in); err == nil {
+			sol, err = s.Solve()
+		}
 	default:
 		return sol, fmt.Errorf("core: unknown solver %d", int(opts.Solver))
 	}

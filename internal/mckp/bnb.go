@@ -16,10 +16,20 @@ import (
 //
 // Worst-case time is exponential; MaxBnBNodes caps the search and the
 // solver falls back to the best incumbent found. The incumbent is
-// seeded with the better of SolveHEU and SolveDP, so a capped search
+// seeded with SolveHEU alone — near-optimal on offloading instances
+// and far cheaper than the 10k-cell SolveDP grid this solver used to
+// run unconditionally just to seed itself. SolveDP is consulted only
+// when the node cap was actually hit (the incumbent is then unproven,
+// whether or not it improved on the HEU seed), so a capped search
 // still returns at least the quantized-DP answer; an uncapped search
-// returns the true optimum.
+// returns the true optimum without ever paying for the DP.
 func SolveBnB(in *Instance) (Solution, error) {
+	return solveBnBNodeCap(in, MaxBnBNodes)
+}
+
+// solveBnBNodeCap is SolveBnB with an explicit node budget, split out
+// so tests can force the capped-search DP fallback.
+func solveBnBNodeCap(in *Instance, nodeCap int) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -27,13 +37,10 @@ func SolveBnB(in *Instance) (Solution, error) {
 		return Solution{}, ErrInfeasible
 	}
 
-	// Seed the incumbent with the better of HEU and DP (both feasible).
+	// Seed the incumbent with HEU (feasible whenever the instance is).
 	best, err := SolveHEU(in)
 	if err != nil {
 		return Solution{}, err
-	}
-	if dp, err := SolveDP(in, 0); err == nil && dp.Profit > best.Profit {
-		best = dp
 	}
 
 	n := len(in.Classes)
@@ -127,12 +134,24 @@ func SolveBnB(in *Instance) (Solution, error) {
 		baseP:      baseP,
 		cumW:       suffixCumW,
 		cumP:       suffixCumP,
+		nodeCap:    nodeCap,
 		choice:     make([]int, n),
 		bestChoice: append([]int(nil), best.Choice...),
 		bestProfit: best.Profit,
 	}
 	copy(bnb.choice, best.Choice)
 	bnb.search(0, 0, 0)
+
+	// A capped search may have been cut off before reaching the good
+	// subtrees, so its incumbent is unproven — even one that improved
+	// on the HEU seed can trail the quantized DP. Only then pay for the
+	// DP and keep whichever answer is better.
+	if bnb.nodes >= bnb.nodeCap {
+		if dp, err := SolveDP(in, 0); err == nil && dp.Profit > bnb.bestProfit {
+			bnb.bestProfit = dp.Profit
+			copy(bnb.bestChoice, dp.Choice)
+		}
+	}
 
 	sol, err := in.Evaluate(bnb.bestChoice)
 	if err != nil {
@@ -152,6 +171,7 @@ type bnbState struct {
 	baseP      []float64
 	cumW, cumP [][]float64
 
+	nodeCap    int
 	choice     []int
 	bestChoice []int
 	bestProfit float64
@@ -194,7 +214,7 @@ func (s *bnbState) suffixLPBound(k int, residual float64) float64 {
 }
 
 func (s *bnbState) search(k int, weight, profit float64) {
-	if s.nodes >= MaxBnBNodes {
+	if s.nodes >= s.nodeCap {
 		return
 	}
 	s.nodes++

@@ -11,6 +11,18 @@ import (
 // the offloading instances.
 const DefaultDPResolution = 10000
 
+// dpArena holds the quantized-DP scratch tables so repeated solves
+// (the persistent Solver's SolveDP, admission churn) stop allocating
+// the O(n·resolution) grid on every call. The zero value is ready to
+// use; buffers grow on demand and are reused afterwards.
+type dpArena struct {
+	prev, cur []float64
+	choice    []int16 // flattened n × (resolution+1) table
+	qw        []int   // flattened per-class quantized weights
+	qwOff     []int   // qwOff[i] = start of class i in qw; len n+1
+	sel       []int   // reconstructed choice vector
+}
+
 // SolveDP solves the instance exactly on a quantized capacity grid
 // using the pseudo-polynomial dynamic program for MCKP (Dudzinski &
 // Walukiewicz 1987). The real-valued weights are scaled to
@@ -24,6 +36,14 @@ const DefaultDPResolution = 10000
 // check is performed on quantized weights, so near-capacity instances
 // may be rejected conservatively).
 func SolveDP(in *Instance, resolution int) (Solution, error) {
+	return solveDPInto(in, resolution, &dpArena{})
+}
+
+// solveDPInto is SolveDP running its tables out of ar. The recurrence,
+// iteration order, and reconstruction are identical to the historical
+// per-call-allocating implementation, so solutions are bit-identical;
+// only the storage layout (flattened tables) differs.
+func solveDPInto(in *Instance, resolution int, ar *dpArena) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -34,38 +54,43 @@ func SolveDP(in *Instance, resolution int) (Solution, error) {
 	cap := resolution
 
 	// Quantize weights, rounding up (conservative).
-	qw := make([][]int, n)
+	ar.qwOff = growInts(ar.qwOff, n+1)
+	ar.qw = ar.qw[:0]
 	for i, c := range in.Classes {
-		qw[i] = make([]int, len(c.Items))
-		for j, it := range c.Items {
+		ar.qwOff[i] = len(ar.qw)
+		for _, it := range c.Items {
 			w := int(math.Ceil(it.Weight / in.Capacity * float64(resolution)))
 			if w < 0 {
 				w = 0
 			}
-			qw[i][j] = w
+			ar.qw = append(ar.qw, w)
 		}
 	}
+	ar.qwOff[n] = len(ar.qw)
 
 	negInf := math.Inf(-1)
-	// prev[c] = best profit using classes 0..i-1 with total quantized
-	// weight exactly ≤ handled via "at most c" formulation: we use
-	// profit at weight budget c (monotone in c by construction below).
-	prev := make([]float64, cap+1)
-	cur := make([]float64, cap+1)
+	// prev[c] = best profit using classes 0..i-1 at weight budget c
+	// ("at most c" formulation; monotone in c by construction below).
+	ar.prev = growFloats(ar.prev, cap+1)
+	ar.cur = growFloats(ar.cur, cap+1)
+	prev, cur := ar.prev, ar.cur
 	for c := range prev {
 		prev[c] = 0 // zero classes, zero profit at any budget
 	}
-	// choice[i][c] = item picked for class i at budget c.
-	choice := make([][]int16, n)
+	// choice[i*(cap+1)+c] = item picked for class i at budget c.
+	if len(ar.choice) < n*(cap+1) {
+		ar.choice = make([]int16, n*(cap+1))
+	}
 
 	for i := 0; i < n; i++ {
-		choice[i] = make([]int16, cap+1)
 		items := in.Classes[i].Items
+		qwi := ar.qw[ar.qwOff[i]:ar.qwOff[i+1]]
+		row := ar.choice[i*(cap+1) : (i+1)*(cap+1)]
 		for c := 0; c <= cap; c++ {
 			best := negInf
 			bestJ := int16(-1)
 			for j := range items {
-				w := qw[i][j]
+				w := qwi[j]
 				if w > c {
 					continue
 				}
@@ -77,7 +102,7 @@ func SolveDP(in *Instance, resolution int) (Solution, error) {
 				}
 			}
 			cur[c] = best
-			choice[i][c] = bestJ
+			row[c] = bestJ
 		}
 		prev, cur = cur, prev
 	}
@@ -96,20 +121,46 @@ func SolveDP(in *Instance, resolution int) (Solution, error) {
 			break
 		}
 	}
-	sel := make([]int, n)
+	ar.sel = growInts(ar.sel, n)
+	sel := ar.sel
 	for i := n - 1; i >= 0; i-- {
-		j := choice[i][c]
+		j := ar.choice[i*(cap+1)+c]
 		if j < 0 {
 			// The chosen budget must be reachable at every level; if
 			// not, fall back to the full budget column.
 			return Solution{}, fmt.Errorf("mckp: internal error reconstructing DP solution at class %d", i)
 		}
 		sel[i] = int(j)
-		c -= qw[i][j]
+		c -= ar.qw[ar.qwOff[i]+int(j)]
 	}
 	sol, err := in.Evaluate(sel)
 	if err != nil {
 		return Solution{}, err
 	}
 	return sol, nil
+}
+
+// growInts returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// growFloats is growInts for float64 slices.
+func growFloats(s []float64, n int) []float64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// growBools is growInts for bool slices.
+func growBools(s []bool, n int) []bool {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]bool, n)
 }

@@ -1,9 +1,5 @@
 package mckp
 
-import (
-	"container/heap"
-)
-
 // SolveHEU solves the instance approximately with the HEU-OE greedy
 // heuristic (Khan 1998, ch. 4; the classic MCKP greedy of Zemel /
 // Sinha–Zoltners):
@@ -24,35 +20,47 @@ func SolveHEU(in *Instance) (Solution, error) {
 	}
 	n := len(in.Classes)
 	fronts := make([][]frontierItem, n)
-	pos := make([]int, n) // current frontier position per class
-	choice := make([]int, n)
-	weight := 0.0
-	profit := 0.0
 	for i, c := range in.Classes {
 		fronts[i] = lpFrontier(ipFrontier(c.Items))
+	}
+	pos := make([]int, n) // current frontier position per class
+	choice := make([]int, n)
+	var h upgradeHeap
+	if !heuRun(fronts, in.Capacity, pos, choice, &h) {
+		return Solution{}, ErrInfeasible
+	}
+	return in.Evaluate(choice)
+}
+
+// heuRun executes the HEU-OE greedy loop over per-class LP frontiers.
+// pos and choice must have one entry per class; h is reused as heap
+// scratch. It reports false when even the all-lightest assignment does
+// not fit. On success, choice holds the selected item index per class.
+func heuRun(fronts [][]frontierItem, capacity float64, pos, choice []int, h *upgradeHeap) bool {
+	weight := 0.0
+	for i := range fronts {
 		f0 := fronts[i][0]
 		pos[i] = 0
 		choice[i] = f0.idx
 		weight += f0.weight
-		profit += f0.profit
 	}
-	if weight > in.Capacity+1e-12 {
-		return Solution{}, ErrInfeasible
+	if weight > capacity+1e-12 {
+		return false
 	}
 
 	// Max-heap of candidate upgrades, keyed by incremental efficiency.
-	h := &upgradeHeap{}
+	*h = (*h)[:0]
 	for i := range fronts {
 		if u, ok := nextUpgrade(fronts[i], pos[i], i); ok {
-			heap.Push(h, u)
+			h.push(u)
 		}
 	}
 	for h.Len() > 0 {
-		u := heap.Pop(h).(upgrade)
+		u := h.pop()
 		if u.pos != pos[u.class]+1 {
 			continue // stale entry
 		}
-		if weight+u.dw > in.Capacity+1e-12 {
+		if weight+u.dw > capacity+1e-12 {
 			// This upgrade does not fit. Because per-class efficiencies
 			// decrease along the frontier, a later upgrade of the same
 			// class is never better, but it can be *lighter only if
@@ -64,12 +72,11 @@ func SolveHEU(in *Instance) (Solution, error) {
 		f := fronts[u.class][pos[u.class]]
 		choice[u.class] = f.idx
 		weight += u.dw
-		profit += u.dp
 		if nu, ok := nextUpgrade(fronts[u.class], pos[u.class], u.class); ok {
-			heap.Push(h, nu)
+			h.push(nu)
 		}
 	}
-	return in.Evaluate(choice)
+	return true
 }
 
 // upgrade moves class `class` from frontier position pos−1 to pos.
@@ -90,6 +97,11 @@ func nextUpgrade(front []frontierItem, cur, class int) (upgrade, bool) {
 	return upgrade{class: class, pos: cur + 1, dw: dw, dp: dp, eff: eff}, true
 }
 
+// upgradeHeap is a typed binary max-heap (by Less) over upgrades. The
+// push/pop methods replicate container/heap's sift algorithms exactly
+// — same swap sequence, hence bit-identical pop order to the previous
+// container/heap implementation — without the per-Push interface
+// boxing allocation, so heap scratch can live in a solver arena.
 type upgradeHeap []upgrade
 
 func (h upgradeHeap) Len() int { return len(h) }
@@ -99,14 +111,50 @@ func (h upgradeHeap) Less(i, j int) bool {
 	}
 	return h[i].class < h[j].class // determinism on ties
 }
-func (h upgradeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *upgradeHeap) Push(x interface{}) { *h = append(*h, x.(upgrade)) }
-func (h *upgradeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h upgradeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *upgradeHeap) push(u upgrade) {
+	*h = append(*h, u)
+	h.up(len(*h) - 1)
+}
+
+func (h *upgradeHeap) pop() upgrade {
+	n := len(*h) - 1
+	h.Swap(0, n)
+	h.down(0, n)
+	u := (*h)[n]
+	*h = (*h)[:n]
+	return u
+}
+
+func (h upgradeHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		j = i
+	}
+}
+
+func (h upgradeHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.Less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !h.Less(j, i) {
+			break
+		}
+		h.Swap(i, j)
+		i = j
+	}
 }
 
 // UpperBoundLP returns the LP-relaxation optimum of the instance: the
@@ -129,14 +177,14 @@ func UpperBoundLP(in *Instance) (float64, error) {
 	if weight > in.Capacity+1e-12 {
 		return 0, ErrInfeasible
 	}
-	h := &upgradeHeap{}
+	var h upgradeHeap
 	for i := range fronts {
 		if u, ok := nextUpgrade(fronts[i], pos[i], i); ok {
-			heap.Push(h, u)
+			h.push(u)
 		}
 	}
 	for h.Len() > 0 {
-		u := heap.Pop(h).(upgrade)
+		u := h.pop()
 		if u.pos != pos[u.class]+1 {
 			continue
 		}
@@ -154,7 +202,7 @@ func UpperBoundLP(in *Instance) (float64, error) {
 		weight += u.dw
 		profit += u.dp
 		if nu, ok := nextUpgrade(fronts[u.class], pos[u.class], u.class); ok {
-			heap.Push(h, nu)
+			h.push(nu)
 		}
 	}
 	return profit, nil

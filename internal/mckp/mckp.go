@@ -10,19 +10,28 @@
 // (w = Ci/Ti, p = Gi(0)) and the remaining items are the offloading
 // levels (w = (Ci,1+Ci,2)/(Di−ri,j), p = Gi(ri,j)).
 //
-// Four solvers are provided:
+// Five solvers are provided:
 //
+//   - Solver: the persistent, incremental, exact core-method solver
+//     (Dudzinski & Walukiewicz): cached per-class dominance frontiers,
+//     LP-relaxation dual solve, reduced-cost fixing of non-core
+//     classes, and branch-and-bound restricted to the core, with
+//     arena-backed allocation-free re-solves. This is the production
+//     solver for fleet-sized instances and admission churn.
 //   - SolveDP: the pseudo-polynomial dynamic program over a quantized
-//     capacity grid (the paper adopts Dudzinski & Walukiewicz's exact
-//     method; weights here are reals, so the grid quantization rounds
-//     weights *up*, making every DP answer feasible under the exact
-//     test — at worst slightly conservative).
+//     capacity grid (weights here are reals, so the grid quantization
+//     rounds weights *up*, making every DP answer feasible under the
+//     exact test — at worst slightly conservative).
 //   - SolveHEU: the HEU-OE greedy heuristic (Khan 1998): per-class
 //     LP-dominance frontiers, then repeated selection of the upgrade
 //     with the best incremental efficiency Δprofit/Δweight.
 //   - SolveBruteForce: exhaustive enumeration for verification on
 //     small instances.
 //   - SolveGreedy: a naive density-blind baseline for ablations.
+//
+// SolveBnB is the older from-scratch branch-and-bound, kept as an
+// exact cross-check; its per-depth suffix tables over *all* classes
+// cost O(n²·m), which is what Solver's core restriction removes.
 //
 // UpperBoundLP computes the LP-relaxation optimum, an upper bound used
 // by tests to sandwich the DP and HEU answers.
@@ -148,7 +157,14 @@ type frontierItem struct {
 // result is sorted by strictly increasing weight and strictly
 // increasing profit.
 func ipFrontier(items []Item) []frontierItem {
-	f := make([]frontierItem, 0, len(items))
+	return ipFrontierInto(make([]frontierItem, 0, len(items)), items)
+}
+
+// ipFrontierInto is ipFrontier writing into a reusable buffer (the
+// persistent Solver's per-class arena). dst is truncated and regrown;
+// the returned slice aliases it.
+func ipFrontierInto(dst []frontierItem, items []Item) []frontierItem {
+	f := dst[:0]
 	for idx, it := range items {
 		f = append(f, frontierItem{idx: idx, weight: it.Weight, profit: it.Profit})
 	}
@@ -175,7 +191,13 @@ func lpFrontier(f []frontierItem) []frontierItem {
 	if len(f) <= 2 {
 		return f
 	}
-	hull := make([]frontierItem, 0, len(f))
+	return lpFrontierInto(make([]frontierItem, 0, len(f)), f)
+}
+
+// lpFrontierInto is lpFrontier writing into a reusable buffer that
+// must not alias f. The returned slice aliases dst.
+func lpFrontierInto(dst []frontierItem, f []frontierItem) []frontierItem {
+	hull := dst[:0]
 	for _, x := range f {
 		for len(hull) >= 2 {
 			a, b := hull[len(hull)-2], hull[len(hull)-1]
