@@ -15,7 +15,7 @@ ADMITBENCH = BenchmarkAdmitdChurn|BenchmarkAdmitdService
 MCKPBENCH = BenchmarkMCKPCoreSolve|BenchmarkMCKPCoreResolve|BenchmarkAdmitdChurn
 MCKPBASE = BenchmarkMCKPBaselineBnB|BenchmarkMCKPBaselineDP
 
-.PHONY: build test vet race verify lint bench bench-sched bench-admitd bench-mckp bench-all bench-smoke smoke-admitd smoke-mckp profile fmt fmt-check cover fuzz-smoke
+.PHONY: build test vet race verify lint alloc-gate bench bench-sched bench-admitd bench-mckp bench-all bench-smoke smoke-admitd smoke-mckp profile fmt fmt-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ race:
 lint:
 	$(GO) run ./cmd/rtlint -dir .
 
+# Dynamic twin of the //rtlint:hotpath annotations: every hot-path
+# root has a testing.AllocsPerRun gate asserting the warm operation
+# allocates zero times (see DESIGN.md §5.7).
+alloc-gate:
+	$(GO) test -count=1 -run 'ZeroAlloc' \
+		./internal/mckp ./internal/sched ./internal/admitd ./internal/dbf
+
 # Short liveness run of the admission-control service: a couple of
 # deterministic churn streams through cmd/admitd's bench mode.
 smoke-admitd:
@@ -50,7 +57,7 @@ smoke-mckp:
 	$(GO) test -count=1 ./internal/core -run 'TestAdmissionMatchesRebuild|TestAdmissionCore'
 
 # The pre-merge gate.
-verify: vet lint build race smoke-mckp smoke-admitd
+verify: vet lint build race alloc-gate smoke-mckp smoke-admitd
 
 # Micro-benchmarks of the incremental demand-analysis engine, recorded
 # for regression tracking: benchstat-friendly text in BENCH_2.txt and a

@@ -1,15 +1,17 @@
 // Command rtlint runs the repository's domain-specific lint suite:
-// four static analyzers (determinism, floatexact, overflowguard,
-// errsink) that machine-check the invariants the experiment engine
-// and the exact demand-analysis tiers rely on. See internal/analysis
-// for the rules and CONTRIBUTING.md for the directive syntax.
+// four per-package analyzers (determinism, floatexact, overflowguard,
+// errsink) plus three interprocedural ones riding a shared call graph
+// (hotalloc, guardedby, arenaescape). See internal/analysis for the
+// rules and CONTRIBUTING.md for the directive and annotation syntax.
 //
 // rtlint is stdlib-only (go/parser + go/types over the module's
-// packages) and exits 1 on any finding, 2 on load/type errors.
+// packages) and exits 1 on any finding, 2 on load/type errors or bad
+// usage. Package analysis fans out over internal/parallel.Map; output
+// is path-ordered and bit-identical at any worker count.
 //
 // Usage:
 //
-//	rtlint [-dir module-root] [-list]
+//	rtlint [-dir module-root] [-workers n] [-list]
 package main
 
 import (
@@ -17,31 +19,47 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"rtoffload/internal/analysis"
 )
 
 func main() {
-	dir := flag.String("dir", ".", "module root to analyze")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run keeps the driver testable: it returns the process exit code
+// instead of calling os.Exit from the middle of the logic.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("rtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to analyze")
+	workers := fs.Int("workers", 0, "package-analysis parallelism (0 = GOMAXPROCS)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		for _, a := range analysis.AllInterprocedural {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
 	}
 
+	start := time.Now() //rtlint:allow determinism -- wall-clock timer reported to stderr
 	mod, err := analysis.LoadModule(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rtlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rtlint:", err)
+		return 2
 	}
-	targets := analysis.DefaultTargets()
-	var diags []analysis.Diagnostic
-	for _, pkg := range mod.Packages {
-		diags = append(diags, analysis.RunPackage(pkg, targets)...)
+	diags, err := analysis.RunModule(mod, analysis.ModuleOptions{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(stderr, "rtlint:", err)
+		return 2
 	}
 	for _, d := range diags {
 		// Report module-relative paths so output is stable across
@@ -49,10 +67,13 @@ func main() {
 		if rel, err := filepath.Rel(mod.Dir, d.Pos.Filename); err == nil {
 			d.Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(d)
+		fmt.Fprintln(stdout, d)
 	}
+	//rtlint:allow determinism -- wall-clock timer reported to stderr
+	elapsed := time.Since(start)
+	fmt.Fprintf(stderr, "rtlint: %d finding(s) across %d package(s) in %v\n", len(diags), len(mod.Packages), elapsed.Round(time.Millisecond))
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rtlint: %d finding(s) across %d package(s)\n", len(diags), len(mod.Packages))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -129,6 +129,120 @@ func work() {}
 	}
 }
 
+// TestSeededInterproceduralViolations seeds one violation per module
+// analyzer — an allocation on a hot path, an unlocked guarded-field
+// access, an arena alias escaping an exported API — and asserts the
+// driver reports all three and exits 1.
+func TestSeededInterproceduralViolations(t *testing.T) {
+	bin := buildRtlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/hot/hot.go": `package hot
+
+//rtlint:hotpath -- seeded gate root
+func Loop() {
+	for i := 0; i < 8; i++ {
+		sink(make([]int, i))
+	}
+}
+
+func sink(s []int) {}
+`,
+		"internal/gd/gd.go": `package gd
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//rtlint:guardedby mu
+	n int
+}
+
+func bump(b *box) {
+	b.n++
+}
+
+func locked(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+`,
+		"internal/ar/ar.go": `package ar
+
+type pool struct {
+	//rtlint:arena
+	buf []int
+}
+
+func (p *pool) Expose() []int {
+	return p.buf
+}
+`,
+	})
+
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got err=%v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"[hotalloc] make allocates (hot path from root hot.Loop)",
+		"[guardedby] access to guarded field b.n requires b.mu held",
+		"[arenaescape] arena-aliasing value returned from exported Expose escapes its owner",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\noutput:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "rtlint: 3 finding(s)") {
+		t.Errorf("output missing summary line\noutput:\n%s", text)
+	}
+}
+
+// TestLoadErrorExitCode asserts a module that fails to type-check is a
+// usage-class failure (exit 2), distinct from findings (exit 1).
+func TestLoadErrorExitCode(t *testing.T) {
+	bin := buildRtlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/broken/broken.go": `package broken
+
+func f() int { return undefinedName }
+`,
+	})
+
+	out, err := exec.Command(bin, "-dir", dir).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "rtlint:") {
+		t.Errorf("load failure did not report an error:\n%s", out)
+	}
+}
+
+// TestBadFlagExitCode asserts flag-parse failures exit 2.
+func TestBadFlagExitCode(t *testing.T) {
+	bin := buildRtlint(t)
+	out, err := exec.Command(bin, "-no-such-flag").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2, got err=%v\n%s", err, out)
+	}
+}
+
+// TestMissingDirExitCode asserts a nonexistent module root exits 2.
+func TestMissingDirExitCode(t *testing.T) {
+	bin := buildRtlint(t)
+	out, err := exec.Command(bin, "-dir", filepath.Join(t.TempDir(), "nope")).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2, got err=%v\n%s", err, out)
+	}
+}
+
 // TestStaleDirectiveFails asserts an unused directive is itself a
 // finding: exemptions cannot rot silently.
 func TestStaleDirectiveFails(t *testing.T) {

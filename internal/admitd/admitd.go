@@ -36,7 +36,8 @@ var ErrUnknownTenant = errors.New("admitd: unknown tenant")
 type Service struct {
 	opts core.Options
 
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//rtlint:guardedby mu
 	tenants map[string]*tenant
 }
 
@@ -46,13 +47,19 @@ type tenant struct {
 	mu sync.Mutex
 	// adm holds the shard's admitted set, caches, and persistent exact
 	// analyzer; every mutation goes through its atomic operations.
+	//
+	//rtlint:guardedby mu
 	adm *core.Admission
 	// seq counts committed operations; every successful mutation bumps
 	// it, so a DecisionView's seq identifies the churn-log position it
 	// reflects.
+	//
+	//rtlint:guardedby mu
 	seq uint64
 	// dead marks a reaped shard: it is no longer in the map, and any
 	// goroutine that raced the reaper must re-lookup.
+	//
+	//rtlint:guardedby mu
 	dead bool
 }
 
@@ -64,6 +71,9 @@ func New(opts core.Options) *Service {
 // grab returns the named shard with its lock held, creating it when
 // create is set. It retries when the shard is reaped between the map
 // lookup and the shard lock.
+//
+//rtlint:hotpath -- per-request shard lookup; the existing-tenant path must not allocate
+//rtlint:acquires mu
 func (s *Service) grab(name string, create bool) (*tenant, bool) {
 	for {
 		s.mu.RLock()
@@ -76,8 +86,8 @@ func (s *Service) grab(name string, create bool) (*tenant, bool) {
 			s.mu.Lock()
 			tn = s.tenants[name]
 			if tn == nil {
-				tn = &tenant{adm: core.NewAdmission(s.opts)}
-				s.tenants[name] = tn
+				tn = &tenant{adm: core.NewAdmission(s.opts)} //rtlint:allow hotalloc -- first-admit shard creation, the one cold branch of the lookup
+				s.tenants[name] = tn                         //rtlint:allow hotalloc -- first-admit shard registration, the one cold branch of the lookup
 			}
 			s.mu.Unlock()
 		}
@@ -227,6 +237,8 @@ type ChoiceView struct {
 
 // viewLocked renders the shard's current decision; the caller holds
 // tn.mu.
+//
+//rtlint:holds tn.mu
 func viewLocked(name string, tn *tenant) *DecisionView {
 	return ViewOf(name, tn.seq, tn.adm.Decision(), tn.adm.Len())
 }

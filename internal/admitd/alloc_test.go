@@ -1,0 +1,30 @@
+package admitd
+
+import (
+	"testing"
+
+	"rtoffload/internal/core"
+)
+
+// TestGrabWarmZeroAlloc gates the //rtlint:hotpath contract on
+// Service.grab: after the first admit has created a tenant shard, the
+// per-request lookup of an existing shard must not allocate.
+func TestGrabWarmZeroAlloc(t *testing.T) {
+	s := New(core.Options{})
+	tn, ok := s.grab("edge-0", true)
+	if !ok {
+		t.Fatal("grab(create) failed")
+	}
+	tn.mu.Unlock()
+	allocs := testing.AllocsPerRun(100, func() {
+		tn, ok := s.grab("edge-0", false)
+		if !ok {
+			t.Error("existing tenant not found")
+			return
+		}
+		tn.mu.Unlock()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm grab allocates %.1f times per run; the hotpath contract is 0", allocs)
+	}
+}

@@ -15,6 +15,20 @@
 //   - errsink:       no silently discarded io.Writer / fmt.Fprintf
 //     errors in library packages.
 //
+// A second, module-wide layer (AllInterprocedural) shares one call
+// graph — static calls resolved exactly, interface calls by
+// class-hierarchy analysis — and checks annotation-declared
+// invariants across function boundaries:
+//
+//   - hotalloc:    no allocation reachable from an //rtlint:hotpath
+//     root through any call chain.
+//   - guardedby:   fields marked //rtlint:guardedby <mutex> are only
+//     accessed with the lock held; //rtlint:holds and
+//     //rtlint:acquires extend the protocol across calls.
+//   - arenaescape: values aliasing an //rtlint:arena field never
+//     escape their owner (exported returns, outside stores, channel
+//     sends, closure captures).
+//
 // A finding can be exempted only by an explicit directive carrying a
 // reason:
 //
@@ -101,12 +115,23 @@ func DefaultTargets() []Target {
 		// deterministic experiment engine, and cmd wall-clock timers must
 		// carry explicit directives.
 		{Determinism, func(relDir, base string) bool { return true }},
-		// Exact-analysis code: the dbf tier ladder, the exact upgrade
-		// pass over it, and the budget estimator whose Ri values feed
-		// the exact admission analysis.
+		// Exact-analysis code: the dbf tier ladder and every core file
+		// that carries exact rationals — the exact upgrade pass, the
+		// budget estimator whose Ri values feed it, the incremental
+		// admission path, and the decision types and their round-trip
+		// serialization (Theorem3Total must survive I/O bit-exactly).
 		{FloatExact, func(relDir, base string) bool {
-			return relDir == "internal/dbf" ||
-				(relDir == "internal/core" && (base == "exact.go" || base == "estimator.go"))
+			if relDir == "internal/dbf" {
+				return true
+			}
+			if relDir != "internal/core" {
+				return false
+			}
+			switch base {
+			case "exact.go", "estimator.go", "admission.go", "core.go", "decisionio.go":
+				return true
+			}
+			return false
 		}},
 		// Demand arithmetic; frac.go hosts the checked helpers and is the
 		// one file allowed to do raw int64 work.
@@ -128,6 +153,15 @@ func RunPackage(pkg *Package, targets []Target) []Diagnostic {
 	var diags []Diagnostic
 	sink := func(d Diagnostic) { diags = append(diags, d) }
 	ds := ParseDirectives(pkg.Fset, pkg.Files)
+	runTargets(pkg, targets, ds, sink)
+	diags = append(diags, ds.Problems()...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runTargets runs the matching per-package analyzers against pkg,
+// reporting through sink.
+func runTargets(pkg *Package, targets []Target, ds *DirectiveSet, sink func(Diagnostic)) {
 	for _, tgt := range targets {
 		var files []*ast.File
 		for i, f := range pkg.Files {
@@ -150,9 +184,6 @@ func RunPackage(pkg *Package, targets []Target) []Diagnostic {
 		}
 		tgt.Analyzer.Run(pass)
 	}
-	diags = append(diags, ds.Problems()...)
-	SortDiagnostics(diags)
-	return diags
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer.

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncNode is one module function with a body: the unit the
+// interprocedural analyzers traverse.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// CallGraph resolves call sites across the module. It is stdlib-only
+// and deliberately conservative:
+//
+//   - direct calls and method calls on concrete receivers resolve to
+//     their single static callee;
+//   - interface method calls resolve by class-hierarchy analysis to
+//     every in-module named type implementing the interface (callers
+//     must treat the edge as any of them);
+//   - calls through func values resolve to nothing and are reported as
+//     unverifiable by analyzers that need the callee.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// namedTypes lists every named (non-interface) type declared in the
+	// module, the CHA candidate set for interface calls.
+	namedTypes []*types.Named
+	// chaCache memoizes interface-method resolution.
+	chaCache map[*types.Func][]*FuncNode
+}
+
+// CallTargets is the resolution of one call expression.
+type CallTargets struct {
+	// Static is the single in-module callee of a direct call, if any.
+	Static *FuncNode
+	// Interface holds the CHA candidates of an interface method call
+	// (in-module implementations only).
+	Interface []*FuncNode
+	// External is the named callee living outside the module (stdlib),
+	// if any.
+	External *types.Func
+	// Dynamic marks a call through a func value: no callee is known.
+	Dynamic bool
+	// Builtin is the builtin's name ("make", "append", ...), if any.
+	Builtin string
+	// Conversion marks a type conversion T(x), not a call.
+	Conversion bool
+}
+
+// BuildCallGraph indexes every function declaration of the module and
+// the named types needed for interface resolution.
+func BuildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		nodes:    map[*types.Func]*FuncNode{},
+		chaCache: map[*types.Func][]*FuncNode{},
+	}
+	for _, pkg := range mod.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.nodes[fn] = &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, named)
+		}
+	}
+	sort.Slice(g.namedTypes, func(i, j int) bool {
+		return g.namedTypes[i].Obj().Id() < g.namedTypes[j].Obj().Id()
+	})
+	return g
+}
+
+// Node returns the module function node for fn, or nil when fn has no
+// body in the module (external, or declared without a body).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	return g.nodes[fn]
+}
+
+// Nodes returns every module function node, ordered by position.
+func (g *CallGraph) Nodes() []*FuncNode {
+	out := make([]*FuncNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi := out[i].Pkg.Fset.Position(out[i].Decl.Pos())
+		pj := out[j].Pkg.Fset.Position(out[j].Decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return out
+}
+
+// Resolve classifies one call expression seen in pkg.
+func (g *CallGraph) Resolve(pkg *Package, call *ast.CallExpr) CallTargets {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return CallTargets{Conversion: true}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Builtin:
+			return CallTargets{Builtin: obj.Name()}
+		case *types.Func:
+			return g.resolveNamed(obj)
+		default:
+			return CallTargets{Dynamic: true}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			// Method call through a receiver expression.
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return CallTargets{Dynamic: true} // func-typed field
+			}
+			if types.IsInterface(sel.Recv()) {
+				return CallTargets{Interface: g.resolveInterfaceCall(fn)}
+			}
+			return g.resolveNamed(fn)
+		}
+		// Package-qualified identifier (pkg.Func).
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return g.resolveNamed(fn)
+		}
+		return CallTargets{Dynamic: true}
+	default:
+		// Call of a call result, an index expression, a func literal
+		// invoked in place, ...: a func value either way.
+		return CallTargets{Dynamic: true}
+	}
+}
+
+func (g *CallGraph) resolveNamed(fn *types.Func) CallTargets {
+	if node := g.nodes[fn]; node != nil {
+		return CallTargets{Static: node}
+	}
+	return CallTargets{External: fn}
+}
+
+// resolveInterfaceCall returns every in-module method that an
+// interface call to m may dispatch to: for each module named type
+// implementing m's interface, the type's own method of that name.
+// Implementations whose body lives outside the module (promoted stdlib
+// methods) contribute no node — callers see them through the shrunken
+// candidate list and must stay conservative.
+func (g *CallGraph) resolveInterfaceCall(m *types.Func) []*FuncNode {
+	if cached, ok := g.chaCache[m]; ok {
+		return cached
+	}
+	var out []*FuncNode
+	iface, _ := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		g.chaCache[m] = nil
+		return nil
+	}
+	for _, named := range g.namedTypes {
+		var impl types.Type
+		switch {
+		case types.Implements(named, iface):
+			impl = named
+		case types.Implements(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if node := g.nodes[fn]; node != nil {
+				out = append(out, node)
+			}
+		}
+	}
+	g.chaCache[m] = out
+	return out
+}

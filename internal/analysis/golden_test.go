@@ -67,9 +67,8 @@ func parseWants(t *testing.T, pkg *Package) []*expectation {
 	return wants
 }
 
-// checkGolden runs one analyzer over a testdata package pretending to
-// live at relDir and diffs the findings against the want comments.
-func checkGolden(t *testing.T, az *Analyzer, dir, relDir string) {
+// loadGolden loads one testdata package pretending to live at relDir.
+func loadGolden(t *testing.T, dir, relDir string) *Package {
 	t.Helper()
 	root := repoRoot(t)
 	pkgDir := filepath.Join(root, "internal", "analysis", "testdata", "src", dir)
@@ -77,7 +76,40 @@ func checkGolden(t *testing.T, az *Analyzer, dir, relDir string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
+	return pkg
+}
+
+// checkGolden runs one analyzer over a testdata package pretending to
+// live at relDir and diffs the findings against the want comments.
+func checkGolden(t *testing.T, az *Analyzer, dir, relDir string) {
+	t.Helper()
+	pkg := loadGolden(t, dir, relDir)
 	diags := RunPackage(pkg, []Target{{az, func(string, string) bool { return true }}})
+	diffGolden(t, pkg, diags)
+}
+
+// checkGoldenModule runs one interprocedural analyzer over a testdata
+// package wrapped as a single-package module and diffs the findings
+// (including annotation-binding problems) against the want comments.
+func checkGoldenModule(t *testing.T, az *ModuleAnalyzer, dir, relDir string) {
+	t.Helper()
+	pkg := loadGolden(t, dir, relDir)
+	mod := &Module{Dir: repoRoot(t), Path: "rtoffload", Fset: pkg.Fset, Packages: []*Package{pkg}}
+	diags, err := RunModule(mod, ModuleOptions{
+		Targets:         []Target{},
+		Interprocedural: []*ModuleAnalyzer{az},
+		Workers:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, pkg, diags)
+}
+
+// diffGolden matches reported diagnostics against the package's want
+// comments, failing on both unexpected and missing findings.
+func diffGolden(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
 	wants := parseWants(t, pkg)
 
 	matched := map[*expectation]bool{}
@@ -125,6 +157,18 @@ func TestErrSinkGolden(t *testing.T) {
 
 func TestDirectiveProblemsGolden(t *testing.T) {
 	checkGolden(t, Determinism, "directives", "internal/exp")
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	checkGoldenModule(t, HotAlloc, "hotalloc", "internal/hot")
+}
+
+func TestGuardedByGolden(t *testing.T) {
+	checkGoldenModule(t, GuardedBy, "guardedby", "internal/guard")
+}
+
+func TestArenaEscapeGolden(t *testing.T) {
+	checkGoldenModule(t, ArenaEscape, "arenaescape", "internal/arena")
 }
 
 // TestFileScoping proves Target.Match filters per file: a violation

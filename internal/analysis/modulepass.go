@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+
+	"rtoffload/internal/parallel"
+)
+
+// ModuleAnalyzer is one interprocedural lint rule set: it sees the
+// whole module through a shared call graph instead of one package at a
+// time.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// AllInterprocedural lists the interprocedural analyzers, in report
+// order.
+var AllInterprocedural = []*ModuleAnalyzer{HotAlloc, GuardedBy, ArenaEscape}
+
+// ModulePass is the per-(module analyzer) unit of work.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Module   *Module
+	Graph    *CallGraph
+	Ann      *Annotations
+
+	// directives maps filename -> owning package's directive set, so
+	// module-wide findings honor per-package allow directives.
+	directives map[string]*DirectiveSet
+	sink       func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an rtlint:allow directive in
+// the owning file covers it.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	if ds := p.directives[position.Filename]; ds != nil && ds.Allows(p.Analyzer.Name, position) {
+		return
+	}
+	p.sink(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether an allow directive for this analyzer covers
+// pos, marking it used. Analyzers use it to prune traversal at
+// justified call sites without emitting a finding.
+func (p *ModulePass) Allowed(pos token.Pos) bool {
+	position := p.Module.Fset.Position(pos)
+	ds := p.directives[position.Filename]
+	return ds != nil && ds.Allows(p.Analyzer.Name, position)
+}
+
+// ModuleOptions configures RunModule.
+type ModuleOptions struct {
+	// Targets are the per-package analyzers to run (DefaultTargets()
+	// when nil).
+	Targets []Target
+	// Interprocedural lists the module analyzers to run
+	// (AllInterprocedural when nil).
+	Interprocedural []*ModuleAnalyzer
+	// Workers bounds the per-package fan-out (GOMAXPROCS when 0).
+	Workers int
+}
+
+// RunModule analyzes a loaded module: the per-package analyzers fan
+// out over internal/parallel.Map (package analyses share no mutable
+// state — each gets its own directive set and diagnostic slice), then
+// the interprocedural analyzers run over the shared call graph, and
+// finally every directive set reports its problems. The returned
+// findings are fully sorted, so output is deterministic at any worker
+// count.
+func RunModule(mod *Module, opts ModuleOptions) ([]Diagnostic, error) {
+	targets := opts.Targets
+	if targets == nil {
+		targets = DefaultTargets()
+	}
+	inter := opts.Interprocedural
+	if inter == nil {
+		inter = AllInterprocedural
+	}
+
+	type pkgResult struct {
+		diags []Diagnostic
+		ds    *DirectiveSet
+	}
+	results, err := parallel.Map(opts.Workers, len(mod.Packages), func(i int) (pkgResult, error) {
+		pkg := mod.Packages[i]
+		var diags []Diagnostic
+		ds := ParseDirectives(pkg.Fset, pkg.Files)
+		runTargets(pkg, targets, ds, func(d Diagnostic) { diags = append(diags, d) })
+		return pkgResult{diags: diags, ds: ds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	for _, r := range results {
+		diags = append(diags, r.diags...)
+	}
+
+	// Bind annotations and index directive sets by filename for the
+	// module analyzers.
+	ann := newAnnotations()
+	byFile := map[string]*DirectiveSet{}
+	for i, pkg := range mod.Packages {
+		ds := results[i].ds
+		ann.bindPackage(pkg, ds, sink)
+		for fi := range pkg.Files {
+			pos := pkg.Fset.Position(pkg.Files[fi].Pos())
+			byFile[pos.Filename] = ds
+		}
+	}
+
+	graph := BuildCallGraph(mod)
+	for _, az := range inter {
+		az.Run(&ModulePass{
+			Analyzer:   az,
+			Module:     mod,
+			Graph:      graph,
+			Ann:        ann,
+			directives: byFile,
+			sink:       sink,
+		})
+	}
+
+	for _, r := range results {
+		diags = append(diags, r.ds.Problems()...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,99 @@
+// Package arena seeds the escape patterns arenaescape flags — arena
+// aliases returned from exported functions, stored outside the arena,
+// sent on channels, captured by closures — and the sanctioned ones:
+// internal borrowing between unexported helpers, growth written back
+// into the arena, and snapshot copies into fresh memory.
+package arena
+
+type scratch struct {
+	//rtlint:arena
+	buf []int
+	//rtlint:arena
+	tmp []int
+	out []int
+}
+
+var published []int
+
+// grow is the amortized arena grower: its result aliases its first
+// parameter, which the alias summaries record.
+func grow(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	fresh := make([]int, n, 2*n)
+	copy(fresh, s)
+	return fresh
+}
+
+// fill borrows the arena internally: returning scratch from an
+// unexported helper stays inside the owner.
+func (s *scratch) fill(n int) []int {
+	b := s.buf[:0]
+	for i := 0; i < n; i++ {
+		b = append(b, i)
+	}
+	return b
+}
+
+// Borrow leaks the borrowed scratch across the exported API.
+func (s *scratch) Borrow(n int) []int {
+	return s.fill(n) // want "arena-aliasing value returned from exported Borrow"
+}
+
+// Window leaks a direct reslice of the arena.
+func (s *scratch) Window(i, j int) []int {
+	return s.buf[i:j] // want "arena-aliasing value returned from exported Window"
+}
+
+// Snapshot copies into fresh memory: silent.
+func (s *scratch) Snapshot(n int) []int {
+	fresh := make([]int, n)
+	copy(fresh, s.buf)
+	return fresh
+}
+
+// Grow writes grown scratch back into the arena field: silent.
+func (s *scratch) Grow(n int) {
+	s.buf = grow(s.buf, n)
+}
+
+// Keep persists an arena alias in a non-arena field.
+func (s *scratch) Keep(n int) {
+	b := s.fill(n)
+	s.out = b // want "arena-aliasing value stored into non-arena field s.out"
+}
+
+// Publish persists an arena alias in a package-level variable.
+func (s *scratch) Publish() {
+	published = s.tmp // want "arena-aliasing value stored into package-level published"
+}
+
+// Ship sends an arena alias to another goroutine.
+func (s *scratch) Ship(ch chan []int) {
+	ch <- s.buf // want "arena-aliasing value sent on a channel"
+}
+
+// Capture closes over an arena alias that may outlive the call.
+func (s *scratch) Capture() func() int {
+	b := s.buf
+	return func() int { return len(b) } // want "closure captures arena-aliasing b"
+}
+
+// internal plumbing between unexported helpers is free to pass
+// aliases around, including through grow.
+func (s *scratch) shuffle(n int) []int {
+	b := grow(s.buf, n)
+	b = append(b, n)
+	return b[:1]
+}
+
+// Sum reads scalars out of the arena: copies, not aliases — silent
+// even from an exported function.
+func (s *scratch) Sum() int {
+	total := 0
+	for _, v := range s.buf {
+		total += v
+	}
+	return total + s.buf[0]
+}

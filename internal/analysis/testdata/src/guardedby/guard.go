@@ -1,0 +1,144 @@
+// Package guard seeds the lock-discipline patterns guardedby checks:
+// plain lock/unlock windows, deferred unlocks, unlock-and-return error
+// branches, loops, switches, //rtlint:holds call-site contracts, and
+// //rtlint:acquires lock handoff — plus the annotation misuse cases
+// the binder must reject.
+package guard
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	//rtlint:guardedby mu
+	n int
+}
+
+func locked(s *shard) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func unlocked(s *shard) {
+	s.n++ // want "access to guarded field s.n requires s.mu held"
+}
+
+func deferred(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// errReturn is the unlock-and-return pattern: the terminating branch
+// must not leak its unlock into the code below it.
+func errReturn(s *shard, fail bool) {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// branchLeak unlocks on one fall-through path only: the merge drops
+// the lock and the access below is flagged.
+func branchLeak(s *shard, early bool) {
+	s.mu.Lock()
+	if early {
+		s.mu.Unlock()
+	}
+	s.n++ // want "access to guarded field s.n requires s.mu held"
+}
+
+// loopLocal locks per iteration: nothing is held after the loop.
+func loopLocal(s *shard, rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+	s.n-- // want "access to guarded field s.n requires s.mu held"
+}
+
+func switched(s *shard, mode int) {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	default:
+		s.n++
+		s.mu.Unlock()
+	}
+	s.n-- // want "access to guarded field s.n requires s.mu held"
+}
+
+// view requires the caller to pass s already locked.
+//
+//rtlint:holds s.mu
+func view(s *shard) int {
+	return s.n
+}
+
+func goodCaller(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return view(s)
+}
+
+func badCaller(s *shard) int {
+	return view(s) // want "call to view requires s.mu held"
+}
+
+type registry struct {
+	mu sync.RWMutex
+	//rtlint:guardedby mu
+	shards map[string]*shard
+}
+
+// grab returns the shard with its lock held: lock handoff through the
+// result, declared with //rtlint:acquires.
+//
+//rtlint:acquires mu
+func (r *registry) grab(k string) *shard {
+	r.mu.RLock()
+	s := r.shards[k]
+	r.mu.RUnlock()
+	s.mu.Lock()
+	return s
+}
+
+func handoff(r *registry) {
+	s := r.grab("a")
+	s.n++ // held via acquires
+	s.mu.Unlock()
+}
+
+func writeSide(r *registry, k string, s *shard) {
+	r.mu.Lock()
+	r.shards[k] = s
+	r.mu.Unlock()
+}
+
+func readBare(r *registry, k string) *shard {
+	return r.shards[k] // want "access to guarded field r.shards requires r.mu held"
+}
+
+// Annotation misuse the binder must reject.
+type misused struct {
+	mu sync.Mutex
+	//rtlint:guardedby lock // want "lock names no sibling field"
+	a int
+	//rtlint:guardedby b // want "b is not a sync.Mutex or sync.RWMutex field"
+	c int
+	b int
+	//rtlint:guardedby mu extra // want "takes exactly one argument"
+	d int
+}
+
+//rtlint:holds q.mu // want "q names no parameter of holdsBad"
+func holdsBad(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,133 @@
+// Package hot seeds every allocating construct the hotalloc analyzer
+// flags, next to the sanctioned idioms it must stay silent on:
+// self-append growth, stack composite values, pruned cold subtrees,
+// and functions never reached from a hotpath root.
+package hot
+
+import (
+	"sort"
+	"strings"
+)
+
+type pair struct{ a, b int }
+
+type ints []int
+
+func (s ints) Len() int           { return len(s) }
+func (s ints) Less(i, j int) bool { return s[i] < s[j] }
+func (s ints) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+type buf struct {
+	xs []int
+}
+
+//rtlint:hotpath -- steady-state kernel of the fake fast path
+func (b *buf) Step(n int) {
+	b.xs = append(b.xs, n)        // self-append growth: sanctioned
+	b.xs = append(b.xs[:0], n, n) // reset-and-refill: sanctioned
+	_ = pair{n, n}                // stack value: silent
+	b.grow(n)                     // traversal descends into the callee
+	b.setup(n)                    //rtlint:allow hotalloc -- one-time setup outside the steady state
+}
+
+func (b *buf) grow(n int) {
+	b.xs = make([]int, n) // want "make allocates"
+	p := new(int)         // want "new allocates"
+	_ = p
+	ys := append(b.xs, n) // want "append outside the self-append form"
+	_ = ys
+}
+
+// setup allocates freely, but the allow directive on its call site in
+// Step prunes the hotalloc traversal before it gets here.
+func (b *buf) setup(n int) {
+	b.xs = make([]int, n)
+	m := map[int]int{n: n}
+	_ = m
+}
+
+// coldInit is never reachable from a hotpath root: silent.
+func coldInit() []int {
+	return make([]int, 64)
+}
+
+//rtlint:hotpath
+func literals(n int) {
+	_ = []int{n}          // want "composite literal allocates"
+	m := map[string]int{} // want "composite literal allocates"
+	m["k"] = n            // want "map assignment may allocate"
+	_ = &pair{n, n}       // want "&composite literal allocates"
+}
+
+//rtlint:hotpath
+func bump(counts map[string]int, k string) {
+	counts[k]++ // want "map update may allocate"
+}
+
+//rtlint:hotpath
+func format(a, b string) int {
+	c := a + b      // want "string concatenation allocates"
+	bs := []byte(a) // want "conversion from string to \[\]byte copies"
+	return len(c) + len(bs)
+}
+
+//rtlint:hotpath
+func boxedReturn(n int) any {
+	return n // want "implicit conversion of int to interface boxes"
+}
+
+//rtlint:hotpath
+func boxedArg(xs ints) {
+	sort.Sort(xs) // want "implicit conversion of .*ints to interface boxes"
+}
+
+//rtlint:hotpath
+func external(s string) string {
+	return strings.TrimSpace(s) // want "call to strings.TrimSpace outside the module may allocate"
+}
+
+//rtlint:hotpath
+func dynamic(f func() int) int {
+	return f() // want "unresolvable call"
+}
+
+func run(f func() int) { _ = f }
+
+//rtlint:hotpath
+func spawn(k int) func() int {
+	f := func() int { return k } // want "closure captures k and allocates"
+	go run(f)                    // want "go statement allocates a goroutine"
+	return f
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+//rtlint:hotpath
+func methodValue(c *counter) func() {
+	return c.inc // want "method value c.inc allocates"
+}
+
+// Interface dispatch resolves by CHA: both implementations below are
+// traversed, and only the allocating one is reported.
+type stepper interface{ step(int) int }
+
+type adder struct{ total int }
+
+func (a *adder) step(n int) int { a.total += n; return a.total }
+
+type boxer struct{ last any }
+
+func (b *boxer) step(n int) int {
+	b.last = n // want "implicit conversion of int to interface boxes"
+	return n
+}
+
+//rtlint:hotpath
+func drive(s stepper, k int) int {
+	return s.step(k)
+}
+
+//rtlint:hotpath -- annotation misuse exercised below // want "annotates nothing"
+const answer = 42

@@ -203,7 +203,7 @@ type taskCache struct {
 // with the cached demand models of every choice.
 func buildTaskCache(t *task.Task) taskCache {
 	c := taskCache{class: mckp.Class{Label: t.Name}}
-	localW, _ := t.Density().Float64()
+	localW, _ := t.Density().Float64() //rtlint:allow floatexact -- exact→float handoff: MCKP weights are float64 by design; feasibility is re-certified exactly
 	c.class.Items = append(c.class.Items, mckp.Item{Weight: localW, Profit: t.EffectiveWeight() * t.LocalBenefit})
 	c.cm = append(c.cm, classMap{offload: false})
 	if s, err := dbf.NewSporadic(t.LocalWCET, t.Deadline, t.Period); err == nil {
@@ -222,7 +222,7 @@ func buildTaskCache(t *task.Task) taskCache {
 		if w.Cmp(ratOne) > 0 {
 			continue // over-dense for Theorem 3
 		}
-		wf, _ := w.Float64()
+		wf, _ := w.Float64() //rtlint:allow floatexact -- exact→float handoff: MCKP weights are float64 by design; feasibility is re-certified exactly
 		c.class.Items = append(c.class.Items, mckp.Item{Weight: wf, Profit: t.EffectiveWeight() * t.Levels[j].Benefit})
 		c.cm = append(c.cm, classMap{offload: true, level: j})
 	}
@@ -382,7 +382,7 @@ func cheapestDowngrade(choices []Choice) int {
 			continue
 		}
 		loss := c.Expected - c.Task.EffectiveWeight()*c.Task.LocalBenefit
-		if best == -1 || loss < bestLoss {
+		if best == -1 || loss < bestLoss { //rtlint:allow floatexact -- repair ordering over float benefits; the result is re-certified exactly
 			best, bestLoss = i, loss
 		}
 	}

@@ -1,0 +1,45 @@
+package dbf
+
+import "testing"
+
+// TestSwapFeasibleNarrowZeroAlloc gates the //rtlint:hotpath contract
+// on Analyzer.Swap and Analyzer.Feasible: with every demand in the
+// narrow int64 tier, a trial swap plus the incremental QPA re-test
+// must not allocate. The alternates are pre-boxed Demand values so the
+// measured loop pays only the analyzer's own work.
+func TestSwapFeasibleNarrowZeroAlloc(t *testing.T) {
+	ds := []Demand{
+		Sporadic{C: 1000, D: 8000, T: 10000},
+		Sporadic{C: 2000, D: 16000, T: 20000},
+		Sporadic{C: 1500, D: 30000, T: 40000},
+	}
+	a, err := NewAnalyzer(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := [2]Demand{
+		Sporadic{C: 1200, D: 8000, T: 10000},
+		Sporadic{C: 1000, D: 8000, T: 10000},
+	}
+	for _, d := range alt {
+		if err := a.Swap(0, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Feasible(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Swap(0, alt[i&1]); err != nil {
+			t.Error(err)
+		}
+		i++
+		if err := a.Feasible(); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm narrow Swap+Feasible allocates %.1f times per run; the hotpath contract is 0", allocs)
+	}
+}

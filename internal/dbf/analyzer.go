@@ -66,8 +66,8 @@ func newDemandStat(d Demand) (demandStat, bool) {
 	}
 	return demandStat{
 		wide:     true,
-		rateRat:  d.Rate(),
-		burstRat: d.Burst(),
+		rateRat:  d.Rate(),  //rtlint:allow hotalloc -- wide tier: foreign or overflowing demands pay exact big.Rat costs
+		burstRat: d.Burst(), //rtlint:allow hotalloc -- wide tier: foreign or overflowing demands pay exact big.Rat costs
 		first:    d.FirstStep(),
 	}, true
 }
@@ -157,8 +157,14 @@ type Analyzer struct {
 	// den = lcm of all rawDen. mult[i] = den/rawDen_i. t1..t3 are
 	// reusable scratch.
 	den, rateN, burstN *big.Int
-	mult               []big.Int
-	t1, t2, t3         *big.Int
+	//rtlint:arena
+	mult []big.Int
+	//rtlint:arena
+	t1 *big.Int
+	//rtlint:arena
+	t2 *big.Int
+	//rtlint:arena
+	t3 *big.Int
 	// Wide aggregates (modeWide).
 	rateRat, burstRat *big.Rat
 }
@@ -275,13 +281,15 @@ func (a *Analyzer) recomputeWide() {
 }
 
 // Swap replaces demand i, updating the cached aggregates in O(1).
+//
+//rtlint:hotpath -- O(1) aggregate delta behind every trial decision; the narrow tier must not allocate
 func (a *Analyzer) Swap(i int, d Demand) error {
 	if i < 0 || i >= len(a.ds) {
-		return fmt.Errorf("dbf: demand index %d out of range [0,%d)", i, len(a.ds))
+		return fmt.Errorf("dbf: demand index %d out of range [0,%d)", i, len(a.ds)) //rtlint:allow hotalloc -- invalid-input diagnostic, not the steady state
 	}
 	st, ok := newDemandStat(d)
 	if !ok {
-		return fmt.Errorf("dbf: nil demand")
+		return fmt.Errorf("dbf: nil demand") //rtlint:allow hotalloc -- invalid-input diagnostic, not the steady state
 	}
 	a.swapStat(i, d, st)
 	return nil
@@ -313,19 +321,19 @@ func (a *Analyzer) swapStat(i int, d Demand, st demandStat) {
 			// Same denominator: numerator deltas times the cached
 			// multiplier — gcd-free, scratch-reusing.
 			m := &a.mult[i]
-			a.rateN.Add(a.rateN, a.t1.Mul(a.t2.SetInt64(st.rawRate-old.rawRate), m))
-			a.burstN.Add(a.burstN, a.t1.Mul(a.t2.SetInt64(st.rawBurst-old.rawBurst), m))
+			a.rateN.Add(a.rateN, a.t1.Mul(a.t2.SetInt64(st.rawRate-old.rawRate), m))     //rtlint:allow hotalloc -- scaled tier reuses big.Int scratch; word-slice growth is amortized
+			a.burstN.Add(a.burstN, a.t1.Mul(a.t2.SetInt64(st.rawBurst-old.rawBurst), m)) //rtlint:allow hotalloc -- scaled tier reuses big.Int scratch; word-slice growth is amortized
 			return
 		}
 	case modeWide:
 		// Exact rational delta: subtract the old component, add the new.
-		a.rateRat.Sub(a.rateRat, old.rateR())
-		a.rateRat.Add(a.rateRat, a.stats[i].rateR())
-		a.burstRat.Sub(a.burstRat, old.burstR())
-		a.burstRat.Add(a.burstRat, a.stats[i].burstR())
+		a.rateRat.Sub(a.rateRat, old.rateR())           //rtlint:allow hotalloc -- wide tier: exact big.Rat arithmetic for foreign demands
+		a.rateRat.Add(a.rateRat, a.stats[i].rateR())    //rtlint:allow hotalloc -- wide tier: exact big.Rat arithmetic for foreign demands
+		a.burstRat.Sub(a.burstRat, old.burstR())        //rtlint:allow hotalloc -- wide tier: exact big.Rat arithmetic for foreign demands
+		a.burstRat.Add(a.burstRat, a.stats[i].burstR()) //rtlint:allow hotalloc -- wide tier: exact big.Rat arithmetic for foreign demands
 		return
 	}
-	a.recompute()
+	a.recompute() //rtlint:allow hotalloc -- full tier rebuild after a tier change, not the O(1) steady-state delta
 }
 
 // Append grows the configuration by one demand at the end, updating
@@ -448,11 +456,11 @@ func (a *Analyzer) Horizon() (rtime.Duration, error) {
 			return h, err
 		}
 		// Quotient past int64: take the exact path for the right error.
-		return horizonFromRats(a.rate.rat(), a.burst.rat())
+		return horizonFromRats(a.rate.rat(), a.burst.rat()) //rtlint:allow hotalloc -- int64-overflow fallback to exact big.Rat, off the narrow steady state
 	case modeScaled:
-		return a.horizonScaled()
+		return a.horizonScaled() //rtlint:allow hotalloc -- scaled tier reuses big.Int scratch; word-slice growth is amortized
 	default:
-		return horizonFromRats(a.rateRat, a.burstRat)
+		return horizonFromRats(a.rateRat, a.burstRat) //rtlint:allow hotalloc -- wide tier: exact big.Rat arithmetic for foreign demands
 	}
 }
 
@@ -486,6 +494,8 @@ var bigIntOne = big.NewInt(1)
 // is guaranteed, a *Violation pinpoints an overloaded window, and
 // ErrOverloaded reports a long-run rate ≥ 1. The verdict — including
 // the Violation window — is identical to dbf.QPA on the same demands.
+//
+//rtlint:hotpath -- incremental QPA re-test behind every trial decision; the narrow tier must not allocate
 func (a *Analyzer) Feasible() error {
 	h, err := a.Horizon()
 	if err != nil {

@@ -144,7 +144,7 @@ func qpaScanFrom(ds []Demand, h, dmin rtime.Duration) error {
 	for t >= dmin {
 		dem := TotalDBF(ds, t)
 		if dem > t {
-			return &Violation{T: t, Demand: dem}
+			return &Violation{T: t, Demand: dem} //rtlint:allow hotalloc -- violation report built once on the infeasible verdict path
 		}
 		if dem <= dmin {
 			// No window below t can be overloaded: demand below dmin

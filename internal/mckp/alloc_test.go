@@ -1,0 +1,29 @@
+package mckp
+
+import (
+	"testing"
+
+	"rtoffload/internal/stats"
+)
+
+// TestSolveWarmZeroAlloc gates the //rtlint:hotpath contract on
+// Solver.Solve: once the upgrade pool and search arenas are warm, a
+// re-solve must take only cap-sufficient paths and not allocate.
+func TestSolveWarmZeroAlloc(t *testing.T) {
+	in := fleetInstance(stats.NewRNG(stats.DeriveSeed(911, 64)), 64, 8)
+	s, err := NewSolverFrom(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.Solve(); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Solve allocates %.1f times per run; the hotpath contract is 0", allocs)
+	}
+}

@@ -146,7 +146,7 @@ func growInts(s []int, n int) []int {
 	if n <= cap(s) {
 		return s[:n]
 	}
-	return make([]int, n)
+	return make([]int, n) //rtlint:allow hotalloc -- amortized arena growth; a warm re-solve takes the cap-sufficient path
 }
 
 // growFloats is growInts for float64 slices.
@@ -154,7 +154,7 @@ func growFloats(s []float64, n int) []float64 {
 	if n <= cap(s) {
 		return s[:n]
 	}
-	return make([]float64, n)
+	return make([]float64, n) //rtlint:allow hotalloc -- amortized arena growth; a warm re-solve takes the cap-sufficient path
 }
 
 // growBools is growInts for bool slices.
@@ -162,5 +162,5 @@ func growBools(s []bool, n int) []bool {
 	if n <= cap(s) {
 		return s[:n]
 	}
-	return make([]bool, n)
+	return make([]bool, n) //rtlint:allow hotalloc -- amortized arena growth; a warm re-solve takes the cap-sufficient path
 }

@@ -59,8 +59,12 @@ type Solver struct {
 
 	// Global upgrade pool sorted by (eff desc, class asc, pos asc),
 	// built lazily on the first Solve and maintained incrementally by
-	// O(|ups|) filtered merges on class edits.
-	ups      []solverUpgrade
+	// O(|ups|) filtered merges on class edits. ups and upsTmp are a
+	// double buffer: merges write into the spare and swap.
+	//
+	//rtlint:arena
+	ups []solverUpgrade
+	//rtlint:arena
 	upsTmp   []solverUpgrade
 	upsValid bool
 
@@ -70,10 +74,14 @@ type Solver struct {
 	prevChoice []int
 	prevValid  bool
 
-	lp   lpScratch
+	//rtlint:arena
+	lp lpScratch
+	//rtlint:arena
 	srch coreSearch
-	heu  heuScratch
-	dp   dpArena
+	//rtlint:arena
+	heu heuScratch
+	//rtlint:arena
+	dp dpArena
 
 	solChoice []int // storage behind the returned Solution.Choice
 }
@@ -423,11 +431,11 @@ func (s *Solver) removeClassUps(i int) {
 // Instance.Evaluate, without its allocation.
 func (s *Solver) evalInto(choice []int) (profit, weight float64, err error) {
 	if len(choice) != len(s.classes) {
-		return 0, 0, fmt.Errorf("mckp: choice length %d, want %d", len(choice), len(s.classes))
+		return 0, 0, fmt.Errorf("mckp: choice length %d, want %d", len(choice), len(s.classes)) //rtlint:allow hotalloc -- invalid-input diagnostic, not the steady state
 	}
 	for i, j := range choice {
 		if j < 0 || j >= len(s.classes[i].items) {
-			return 0, 0, fmt.Errorf("mckp: class %d choice %d out of range", i, j)
+			return 0, 0, fmt.Errorf("mckp: class %d choice %d out of range", i, j) //rtlint:allow hotalloc -- invalid-input diagnostic, not the steady state
 		}
 		it := s.classes[i].items[j]
 		profit += it.Profit

@@ -109,10 +109,12 @@ func (cs *coreSearch) Swap(a, b int) { cs.chIdx[a], cs.chIdx[b] = cs.chIdx[b], c
 // core method. The returned Solution's Choice aliases solver storage,
 // valid until the next call. See the Solver doc comment for the
 // canonicality (warm/cold bit-identity) contract.
+//
+//rtlint:hotpath -- steady-state offloading re-decision kernel; warm re-solves must not allocate
 func (s *Solver) Solve() (Solution, error) {
 	n := len(s.classes)
 	if n == 0 {
-		return Solution{}, errors.New("mckp: no classes")
+		return Solution{}, errors.New("mckp: no classes") //rtlint:allow hotalloc -- empty-instance error, not the steady state
 	}
 
 	// Feasibility: the all-lightest assignment must fit (same canonical
@@ -125,7 +127,7 @@ func (s *Solver) Solve() (Solution, error) {
 		return Solution{}, ErrInfeasible
 	}
 	if !s.upsValid {
-		s.buildUps()
+		s.buildUps() //rtlint:allow hotalloc -- lazy cold rebuild of the upgrade pool after Reset; warm re-solves skip it
 	}
 
 	// Epsilon slack scaled to the instance's profit mass, so duality

@@ -27,6 +27,30 @@ type failure struct {
 	isPanic bool
 }
 
+// failBox collects the lowest-index failure across workers. The zero
+// value is ready for use.
+type failBox struct {
+	mu sync.Mutex
+	//rtlint:guardedby mu
+	fail *failure
+}
+
+// record keeps f when it is the lowest-index failure seen so far.
+func (b *failBox) record(f failure) {
+	b.mu.Lock()
+	if b.fail == nil || f.idx < b.fail.idx {
+		b.fail = &f
+	}
+	b.mu.Unlock()
+}
+
+// get returns the recorded failure, or nil when every index succeeded.
+func (b *failBox) get() *failure {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fail
+}
+
 // Map runs fn(0), …, fn(n-1) on at most workers goroutines (GOMAXPROCS
 // when workers <= 0) and returns the n results in index order.
 //
@@ -70,16 +94,11 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	var (
 		next atomic.Int64 // next index to dispatch
 		stop atomic.Bool  // set on first failure
-		mu   sync.Mutex   // guards fail
-		fail *failure
+		box  failBox
 		wg   sync.WaitGroup
 	)
 	record := func(f failure) {
-		mu.Lock()
-		if fail == nil || f.idx < fail.idx {
-			fail = &f
-		}
-		mu.Unlock()
+		box.record(f)
 		stop.Store(true)
 	}
 	run := func(i int) {
@@ -111,7 +130,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-	if fail != nil {
+	if fail := box.get(); fail != nil {
 		if fail.isPanic {
 			panic(fail.pan)
 		}

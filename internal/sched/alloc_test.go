@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"testing"
+
+	"rtoffload/internal/sched/eventq"
+)
+
+// TestDispatchKernelZeroAlloc gates the //rtlint:hotpath contract on
+// sim.run's steady state. The full run() pays one-time init and result
+// growth, so the gate exercises the warm kernel directly: allocate a
+// job slot, queue it on the calendar, probe the next event, pop it,
+// and recycle the slot — with the arena and heap backing stores
+// pre-grown, none of it may allocate.
+func TestDispatchKernelZeroAlloc(t *testing.T) {
+	s := &sim{}
+	var hs []int32
+	for i := 0; i < 32; i++ {
+		h := s.allocJob()
+		hs = append(hs, h)
+		s.ready.Push(eventq.Entry{Key: int64(i), H: h})
+		s.waking.Push(eventq.Entry{Key: int64(i), H: h})
+		s.releases.Push(eventq.Entry{Key: int64(i), TieA: int64(i), H: h})
+	}
+	for range hs {
+		s.ready.PopMin()
+		s.waking.PopMin()
+		s.releases.PopMin()
+	}
+	for _, h := range hs {
+		s.freeJob(h)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		h := s.allocJob()
+		s.ready.Push(eventq.Entry{Key: 7, H: h})
+		s.waking.Push(eventq.Entry{Key: 9, H: h})
+		s.releases.Push(eventq.Entry{Key: 11, TieA: 3, H: h})
+		if got := s.nextEvent(); got == 0 {
+			t.Error("unexpected zero next-event instant")
+		}
+		s.ready.PopMin()
+		s.waking.PopMin()
+		s.releases.PopMin()
+		s.freeJob(h)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm dispatch kernel allocates %.1f times per run; the hotpath contract is 0", allocs)
+	}
+}

@@ -111,7 +111,10 @@ type sim struct {
 
 	// jobs is the job arena; free holds recycled slots. Heap handles
 	// are arena indices (releases uses assignment indices instead).
+	//
+	//rtlint:arena
 	jobs []jobState
+	//rtlint:arena
 	free []int32
 
 	// The event calendar. ready is keyed by (prio, task, seq); the
@@ -238,8 +241,9 @@ func (s *sim) freeJob(h int32) {
 	s.free = append(s.free, h)
 }
 
+//rtlint:hotpath -- event-calendar dispatch loop; steady-state dispatch must not allocate
 func (s *sim) run() {
-	s.init()
+	s.init() //rtlint:allow hotalloc -- one-time table and calendar construction before the loop starts
 	next := rtime.Forever
 	dirty := true // next must be (re)computed before first use
 	for {
@@ -410,7 +414,7 @@ func (s *sim) complete(h int32) bool {
 		}
 		// Issue the offload request to the level's component and
 		// suspend.
-		resp := in.srv.Respond(s.now, in.taskID, in.payload)
+		resp := in.srv.Respond(s.now, in.taskID, in.payload) //rtlint:allow hotalloc -- Server models are pluggable simulation components, not dispatcher code
 		if resp.Latency < 0 {
 			// A response cannot arrive before its request; clamp
 			// misbehaving Server implementations to "instant".

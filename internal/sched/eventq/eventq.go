@@ -65,7 +65,7 @@ func (h *Heap) Contains(hd int32) bool {
 // Push inserts e. The handle must not already be queued.
 func (h *Heap) Push(e Entry) {
 	if int(e.H) >= len(h.pos) {
-		grown := make([]int32, int(e.H)+1)
+		grown := make([]int32, int(e.H)+1) //rtlint:allow hotalloc -- handle-table growth; the table stabilizes at the peak live-job count
 		copy(grown, h.pos)
 		h.pos = grown
 	}
