@@ -15,7 +15,17 @@ ADMITBENCH = BenchmarkAdmitdChurn|BenchmarkAdmitdService
 MCKPBENCH = BenchmarkMCKPCoreSolve|BenchmarkMCKPCoreResolve|BenchmarkAdmitdChurn
 MCKPBASE = BenchmarkMCKPBaselineBnB|BenchmarkMCKPBaselineDP
 
-.PHONY: build test vet race verify lint alloc-gate bench bench-sched bench-admitd bench-mckp bench-all bench-smoke smoke-admitd smoke-mckp profile fmt fmt-check cover fuzz-smoke
+# The fleet-campaign benchmarks tracked in BENCH_9.json: streaming
+# cells (one-pass checker, wheel queues) and the 100k-task on-disk
+# sink endpoint, against the materialize-and-validate baseline.
+CAMPBENCH = BenchmarkCampaignCellStreaming|BenchmarkCampaignCellDisk100k
+CAMPBASE = BenchmarkCampaignCellBaseline
+
+# Scratch directory for the campaign kill-and-resume smoke.
+CAMP_SMOKE_DIR = .smoke-campaign
+CAMP_SMOKE_ARGS = -campaign 3 -campaign-tasks 10 -parallel 2
+
+.PHONY: build test vet race verify lint alloc-gate bench bench-sched bench-admitd bench-mckp bench-campaign bench-all bench-smoke smoke-admitd smoke-mckp smoke-campaign profile fmt fmt-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -39,10 +49,13 @@ lint:
 
 # Dynamic twin of the //rtlint:hotpath annotations: every hot-path
 # root has a testing.AllocsPerRun gate asserting the warm operation
-# allocates zero times (see DESIGN.md §5.7).
+# allocates zero times (see DESIGN.md §5.7). Covers the dispatch
+# kernel, the time-wheel calendar, and the binary trace sink's emit
+# path.
 alloc-gate:
 	$(GO) test -count=1 -run 'ZeroAlloc' \
-		./internal/mckp ./internal/sched ./internal/admitd ./internal/dbf
+		./internal/mckp ./internal/sched ./internal/sched/eventq \
+		./internal/trace ./internal/admitd ./internal/dbf
 
 # Short liveness run of the admission-control service: a couple of
 # deterministic churn streams through cmd/admitd's bench mode.
@@ -56,8 +69,22 @@ smoke-mckp:
 	$(GO) test -count=1 ./internal/mckp -run 'TestSolver|TestFleetInstanceSolvable|FuzzMCKPSolverAgreement'
 	$(GO) test -count=1 ./internal/core -run 'TestAdmissionMatchesRebuild|TestAdmissionCore'
 
+# Campaign kill-and-resume smoke: interrupt a small checkpointed
+# sweep with -campaign-limit, resume it, and require the resumed
+# output to be byte-identical to an uninterrupted run.
+smoke-campaign:
+	@rm -rf $(CAMP_SMOKE_DIR) && mkdir -p $(CAMP_SMOKE_DIR)
+	$(GO) run ./cmd/ablations $(CAMP_SMOKE_ARGS) \
+		-checkpoint $(CAMP_SMOKE_DIR)/ckpt.jsonl -campaign-limit 4 > $(CAMP_SMOKE_DIR)/partial.txt
+	grep -q 'campaign interrupted: 4/' $(CAMP_SMOKE_DIR)/partial.txt
+	$(GO) run ./cmd/ablations $(CAMP_SMOKE_ARGS) \
+		-checkpoint $(CAMP_SMOKE_DIR)/ckpt.jsonl > $(CAMP_SMOKE_DIR)/resumed.txt
+	$(GO) run ./cmd/ablations $(CAMP_SMOKE_ARGS) > $(CAMP_SMOKE_DIR)/fresh.txt
+	cmp $(CAMP_SMOKE_DIR)/resumed.txt $(CAMP_SMOKE_DIR)/fresh.txt
+	@rm -rf $(CAMP_SMOKE_DIR)
+
 # The pre-merge gate.
-verify: vet lint build race alloc-gate smoke-mckp smoke-admitd
+verify: vet lint build race alloc-gate smoke-mckp smoke-admitd smoke-campaign
 
 # Micro-benchmarks of the incremental demand-analysis engine, recorded
 # for regression tracking: benchstat-friendly text in BENCH_2.txt and a
@@ -98,9 +125,23 @@ bench-mckp:
 	mv BENCH_7.json.tmp BENCH_7.json
 	rm -f BENCH_7.base.txt
 
+# Fleet-campaign benchmarks: streaming cells at 1k/10k tasks plus the
+# 100k-task on-disk endpoint, against the materialize-and-validate
+# baseline (regenerated each run — the baseline path still exists in
+# tree), recorded as BENCH_9.txt / BENCH_9.json. The 100k fixed-memory
+# ceiling assertion runs alongside.
+bench-campaign:
+	$(GO) test -count=1 -run Test100kUnderMemoryCeiling ./internal/sched
+	$(GO) test -run='^$$' -bench='$(CAMPBASE)' -benchmem -count=3 -benchtime=2x ./internal/sched > BENCH_9.base.txt
+	$(GO) test -run='^$$' -bench='$(CAMPBENCH)' -benchmem -count=3 -benchtime=2x ./internal/sched | tee BENCH_9.txt
+	$(GO) run ./cmd/benchjson -label baseline < BENCH_9.base.txt > BENCH_9.json
+	$(GO) run ./cmd/benchjson -label current -merge BENCH_9.json < BENCH_9.txt > BENCH_9.json.tmp
+	mv BENCH_9.json.tmp BENCH_9.json
+	rm -f BENCH_9.base.txt
+
 # Smoke-run every benchmark once (no timing value, just liveness).
 bench-all:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . ./internal/sched
 
 # CI alias for bench-all: every benchmark must still run to completion
 # on one iteration, catching bit-rot without paying for timing runs.

@@ -44,6 +44,13 @@ func Run(w io.Writer, args []string) error {
 		withChao = fs.Bool("chaos", false, "additionally run the fault-robustness ablation (F)")
 		cpu      = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mem      = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		campaign = fs.Int("campaign", 0,
+			"run ONLY the checkpointed fleet campaign over this many task sets (0 = off)")
+		campTasks = fs.Int("campaign-tasks", 32, "tasks per campaign cell")
+		checkp    = fs.String("checkpoint", "", "campaign checkpoint file (JSONL; enables resume)")
+		campLimit = fs.Int("campaign-limit", 0,
+			"stop the campaign after computing this many cells (interruption hook; 0 = run to completion)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +61,17 @@ func Run(w io.Writer, args []string) error {
 		return err
 	}
 	defer stopProf()
+
+	if *campaign > 0 {
+		return runCampaign(w, exp.CampaignConfig{
+			Seed:       *seed,
+			TaskSets:   *campaign,
+			Tasks:      *campTasks,
+			Parallel:   *par,
+			Checkpoint: *checkp,
+			Limit:      *campLimit,
+		})
+	}
 
 	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 
@@ -181,4 +199,23 @@ func Run(w io.Writer, args []string) error {
 	fmt.Fprintf(os.Stderr, "ablations: wall-clock %.2fs (parallel=%d)\n",
 		time.Since(start).Seconds(), *par) //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
 	return nil
+}
+
+// runCampaign drives the checkpointed fleet sweep (DESIGN.md §5.8).
+// A limited (interrupted) run prints only a progress line; a complete
+// run prints the aggregate table, whose bytes depend solely on the
+// campaign parameters — resumed or not.
+func runCampaign(w io.Writer, cfg exp.CampaignConfig) error {
+	res, err := exp.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	if !res.Complete() {
+		fmt.Fprintf(w, "campaign interrupted: %d/%d cells complete (resume with the same -checkpoint)\n",
+			len(res.Cells), res.Total)
+		return nil
+	}
+	fmt.Fprintf(w, "Campaign — %d cells (tasksets=%d × scenarios × fault scales), %d tasks/cell\n",
+		res.Total, cfg.TaskSets, res.Config.Tasks)
+	return exp.WriteCampaignTable(w, res)
 }

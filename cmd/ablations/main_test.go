@@ -69,3 +69,36 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestCampaignCLIResume is the CLI-level kill-and-resume check the CI
+// smoke mirrors: interrupt via -campaign-limit, resume from the
+// checkpoint, and the final stdout must equal a fresh uninterrupted
+// run's byte for byte.
+func TestCampaignCLIResume(t *testing.T) {
+	args := []string{"-campaign", "3", "-campaign-tasks", "10", "-parallel", "2"}
+	var fresh bytes.Buffer
+	if err := Run(&fresh, args); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fresh.Bytes(), []byte("Campaign — ")) {
+		t.Fatalf("campaign mode printed no table:\n%s", fresh.String())
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	withCkpt := append(args, "-checkpoint", ckpt)
+	var partial bytes.Buffer
+	if err := Run(&partial, append(withCkpt, "-campaign-limit", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(partial.Bytes(), []byte("campaign interrupted: 4/")) {
+		t.Fatalf("limited run did not report interruption:\n%s", partial.String())
+	}
+	var resumed bytes.Buffer
+	if err := Run(&resumed, withCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed.Bytes(), fresh.Bytes()) {
+		t.Fatalf("resumed output diverges from fresh run:\ngot:\n%s\nwant:\n%s",
+			resumed.String(), fresh.String())
+	}
+}

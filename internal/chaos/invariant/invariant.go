@@ -258,50 +258,37 @@ func (tr *Trial) Run() (*chaos.Schedule, error) {
 	return rec, nil
 }
 
-// CheckResult asserts invariants I1–I5 against a simulation result.
-func (tr *Trial) CheckResult(res *sched.Result) error {
-	fail := func(format string, args ...any) error {
-		return fmt.Errorf("invariant: seed %d: %s", tr.Seed, fmt.Sprintf(format, args...))
-	}
+// jobKey identifies one job across its sub-job records.
+type jobKey struct {
+	task int
+	seq  int64
+}
 
-	// I1 — hard guarantee: zero misses for the admitted set.
-	if res.Misses != 0 {
-		return fail("I1: %d deadline misses under fault schedule", res.Misses)
-	}
-	for i := range res.Jobs {
-		j := &res.Jobs[i]
-		if j.Missed || !j.Finished {
-			return fail("I1: job τ%d#%d missed (finished=%v)", j.TaskID, j.Seq, j.Finished)
-		}
-		if j.Finish > j.Deadline {
-			return fail("I1: job τ%d#%d finished at %v past deadline %v", j.TaskID, j.Seq, j.Finish, j.Deadline)
-		}
+// fail prefixes a violation with the trial's reproduction seed.
+func (tr *Trial) fail(format string, args ...any) error {
+	return fmt.Errorf("invariant: seed %d: %s", tr.Seed, fmt.Sprintf(format, args...))
+}
+
+// CheckResult asserts invariants I1–I5 against a simulation result
+// with a materialized trace. The streaming twin is StreamChecker +
+// CheckAggregates (see stream.go), which verifies the same predicates
+// without holding the trace in memory.
+func (tr *Trial) CheckResult(res *sched.Result) error {
+	if err := tr.CheckAggregates(res); err != nil {
+		return err
 	}
 
 	// I4 — independent EDF trace checkers.
 	if res.Trace == nil {
-		return fail("I4: trial ran without a trace")
+		return tr.fail("I4: trial ran without a trace")
 	}
 	if err := res.Trace.Validate(); err != nil {
-		return fail("I4: trace invalid: %v", err)
+		return tr.fail("I4: trace invalid: %v", err)
 	}
 
 	// I2 — compensation fires exactly at the Ri timer. Index each
 	// offloaded job's setup completion, then check the second phase.
-	budgets := make(map[int]rtime.Duration, len(tr.Decision.Choices))
-	locals := make(map[int]float64, len(tr.Decision.Choices))
-	levels := make(map[int]float64, len(tr.Decision.Choices))
-	for _, c := range tr.Decision.Choices {
-		locals[c.Task.ID] = c.Task.LocalBenefit
-		if c.Offload {
-			budgets[c.Task.ID] = c.Budget()
-			levels[c.Task.ID] = c.Task.Levels[c.Level].Benefit
-		}
-	}
-	type jobKey struct {
-		task int
-		seq  int64
-	}
+	budgets := tr.offloadBudgets()
 	setupDone := make(map[jobKey]rtime.Instant)
 	for i := range res.Trace.Subs {
 		rec := &res.Trace.Subs[i]
@@ -311,49 +298,94 @@ func (tr *Trial) CheckResult(res *sched.Result) error {
 	}
 	for i := range res.Trace.Subs {
 		rec := &res.Trace.Subs[i]
-		key := jobKey{rec.Sub.TaskID, rec.Sub.Seq}
-		switch rec.Sub.Kind {
-		case trace.Comp:
-			done, ok := setupDone[key]
-			if !ok {
-				return fail("I2: compensation for %v without a completed setup", rec.Sub)
-			}
-			budget, ok := budgets[rec.Sub.TaskID]
-			if !ok {
-				return fail("I2: compensation for non-offloaded task %d", rec.Sub.TaskID)
-			}
-			if want := done.Add(budget); rec.Release != want {
-				return fail("I2: compensation for %v released at %v, want the Ri timer at %v",
-					rec.Sub, rec.Release, want)
-			}
-		case trace.Post:
-			done, ok := setupDone[key]
-			if !ok {
-				return fail("I2: post-processing for %v without a completed setup", rec.Sub)
-			}
-			budget := budgets[rec.Sub.TaskID]
-			if rec.Release < done || rec.Release > done.Add(budget) {
-				return fail("I2: post-processing for %v released at %v outside [%v, %v]",
-					rec.Sub, rec.Release, done, done.Add(budget))
-			}
+		done, ok := setupDone[jobKey{rec.Sub.TaskID, rec.Sub.Seq}]
+		if err := tr.checkSecondPhase(rec, done, ok, budgets); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	// I3 — benefit floor: every job earns at least the local baseline;
-	// hits earn exactly the level benefit.
+// offloadBudgets maps each offloaded task to its response budget Ri.
+func (tr *Trial) offloadBudgets() map[int]rtime.Duration {
+	budgets := make(map[int]rtime.Duration, len(tr.Decision.Choices))
+	for _, c := range tr.Decision.Choices {
+		if c.Offload {
+			budgets[c.Task.ID] = c.Budget()
+		}
+	}
+	return budgets
+}
+
+// checkSecondPhase is the per-record I2 predicate, shared by the
+// materialized and streaming checkers: compensation releases exactly
+// at the Ri timer, post-processing within [setup-done, setup-done+Ri].
+func (tr *Trial) checkSecondPhase(rec *trace.SubRecord, done rtime.Instant, haveSetup bool, budgets map[int]rtime.Duration) error {
+	switch rec.Sub.Kind {
+	case trace.Comp:
+		if !haveSetup {
+			return tr.fail("I2: compensation for %v without a completed setup", rec.Sub)
+		}
+		budget, ok := budgets[rec.Sub.TaskID]
+		if !ok {
+			return tr.fail("I2: compensation for non-offloaded task %d", rec.Sub.TaskID)
+		}
+		if want := done.Add(budget); rec.Release != want {
+			return tr.fail("I2: compensation for %v released at %v, want the Ri timer at %v",
+				rec.Sub, rec.Release, want)
+		}
+	case trace.Post:
+		if !haveSetup {
+			return tr.fail("I2: post-processing for %v without a completed setup", rec.Sub)
+		}
+		budget := budgets[rec.Sub.TaskID]
+		if rec.Release < done || rec.Release > done.Add(budget) {
+			return tr.fail("I2: post-processing for %v released at %v outside [%v, %v]",
+				rec.Sub, rec.Release, done, done.Add(budget))
+		}
+	}
+	return nil
+}
+
+// CheckAggregates asserts the invariants that read only the result's
+// aggregate fields — I1 (hard guarantee), I3 (benefit floor), I5
+// (accounting coherence). The per-job loops cover whatever the run
+// retained; with Config.DiscardJobResults they reduce to the aggregate
+// checks, which is exactly what campaign cells keep.
+func (tr *Trial) CheckAggregates(res *sched.Result) error {
+	// I1 — hard guarantee: zero misses for the admitted set.
+	if res.Misses != 0 {
+		return tr.fail("I1: %d deadline misses under fault schedule", res.Misses)
+	}
+	locals := make(map[int]float64, len(tr.Decision.Choices))
+	levels := make(map[int]float64, len(tr.Decision.Choices))
+	for _, c := range tr.Decision.Choices {
+		locals[c.Task.ID] = c.Task.LocalBenefit
+		if c.Offload {
+			levels[c.Task.ID] = c.Task.Levels[c.Level].Benefit
+		}
+	}
 	for i := range res.Jobs {
 		j := &res.Jobs[i]
+		if j.Missed || !j.Finished {
+			return tr.fail("I1: job τ%d#%d missed (finished=%v)", j.TaskID, j.Seq, j.Finished)
+		}
+		if j.Finish > j.Deadline {
+			return tr.fail("I1: job τ%d#%d finished at %v past deadline %v", j.TaskID, j.Seq, j.Finish, j.Deadline)
+		}
+		// I3 — benefit floor: every job earns at least the local
+		// baseline; hits earn exactly the level benefit.
 		if j.Benefit < locals[j.TaskID] {
-			return fail("I3: job τ%d#%d earned %g below local baseline %g",
+			return tr.fail("I3: job τ%d#%d earned %g below local baseline %g",
 				j.TaskID, j.Seq, j.Benefit, locals[j.TaskID])
 		}
 		if j.Outcome == sched.OffloadHit && j.Benefit != levels[j.TaskID] {
-			return fail("I3: hit τ%d#%d earned %g, want level benefit %g",
+			return tr.fail("I3: hit τ%d#%d earned %g, want level benefit %g",
 				j.TaskID, j.Seq, j.Benefit, levels[j.TaskID])
 		}
 	}
 	if res.TotalBenefit < res.TotalBaseline*(1-1e-12) {
-		return fail("I3: total benefit %g below all-local baseline %g",
+		return tr.fail("I3: total benefit %g below all-local baseline %g",
 			res.TotalBenefit, res.TotalBaseline)
 	}
 
@@ -361,20 +393,20 @@ func (tr *Trial) CheckResult(res *sched.Result) error {
 	for _, c := range tr.Decision.Choices {
 		st := res.PerTask[c.Task.ID]
 		if st == nil {
-			return fail("I5: task %d has no stats", c.Task.ID)
+			return tr.fail("I5: task %d has no stats", c.Task.ID)
 		}
 		if st.Released != st.Finished {
-			return fail("I5: task %d released %d but finished %d", c.Task.ID, st.Released, st.Finished)
+			return tr.fail("I5: task %d released %d but finished %d", c.Task.ID, st.Released, st.Finished)
 		}
 		if st.Hits+st.Compensations+st.LocalRuns != st.Finished {
-			return fail("I5: task %d outcomes %d+%d+%d do not partition %d jobs",
+			return tr.fail("I5: task %d outcomes %d+%d+%d do not partition %d jobs",
 				c.Task.ID, st.Hits, st.Compensations, st.LocalRuns, st.Finished)
 		}
 		if !c.Offload && (st.Hits != 0 || st.Compensations != 0) {
-			return fail("I5: local task %d has offload outcomes", c.Task.ID)
+			return tr.fail("I5: local task %d has offload outcomes", c.Task.ID)
 		}
 		if st.Misses != 0 || st.Aborted != 0 || st.BoundViolations != 0 {
-			return fail("I5: task %d misses=%d aborted=%d boundViolations=%d",
+			return tr.fail("I5: task %d misses=%d aborted=%d boundViolations=%d",
 				c.Task.ID, st.Misses, st.Aborted, st.BoundViolations)
 		}
 	}

@@ -1,0 +1,125 @@
+// Streaming invariant verification. At campaign scale a trial cannot
+// materialize its trace, so StreamChecker verifies I4 (the EDF trace
+// invariants, via trace.StreamChecker) and I2 (the Ri timer law) in
+// one pass as the simulation emits events, and RunStreaming wires it
+// into the engine as the trace sink. The aggregate invariants I1, I3,
+// and I5 read only the result's counters (CheckAggregates), so the
+// whole trial runs in memory bounded by the in-flight job count —
+// stream_test.go pins accept/reject agreement with the materialized
+// Run/CheckResult path.
+package invariant
+
+import (
+	"rtoffload/internal/chaos"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/sched"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/trace"
+)
+
+// StreamChecker is a trace.Sink verifying I4 and I2 one-pass for a
+// trial. Each job's setup-completion instant is retained only until
+// its second phase closes, so memory stays proportional to in-flight
+// jobs, not to the horizon.
+type StreamChecker struct {
+	tr      *Trial
+	inner   *trace.StreamChecker
+	budgets map[int]rtime.Duration
+	// setupDone holds completed setups whose second phase has not
+	// closed yet (lookups and deletes only — never ranged).
+	setupDone map[jobKey]rtime.Instant
+	err       error
+}
+
+// NewStreamChecker builds the one-pass I4+I2 verifier for a trial.
+func NewStreamChecker(tr *Trial) *StreamChecker {
+	return &StreamChecker{
+		tr:        tr,
+		inner:     trace.NewStreamChecker(),
+		budgets:   tr.offloadBudgets(),
+		setupDone: make(map[jobKey]rtime.Instant),
+	}
+}
+
+// OpenSub implements trace.Sink.
+func (c *StreamChecker) OpenSub(id trace.SubID, release, deadline rtime.Instant, wcet rtime.Duration) {
+	c.inner.OpenSub(id, release, deadline, wcet)
+}
+
+// AppendSegment implements trace.Sink.
+func (c *StreamChecker) AppendSegment(s trace.Segment) {
+	c.inner.AppendSegment(s)
+}
+
+// CloseSub implements trace.Sink. Closes arrive in end-instant order
+// (the Sink contract), and a second phase always ends after its setup
+// completes, so the setup's instant is present when needed.
+func (c *StreamChecker) CloseSub(r trace.SubRecord) {
+	c.inner.CloseSub(r)
+	if c.err != nil {
+		return
+	}
+	key := jobKey{r.Sub.TaskID, r.Sub.Seq}
+	switch r.Sub.Kind {
+	case trace.Setup:
+		if r.Completed {
+			c.setupDone[key] = r.Completion
+		}
+	case trace.Comp, trace.Post:
+		done, ok := c.setupDone[key]
+		c.err = c.tr.checkSecondPhase(&r, done, ok, c.budgets)
+		delete(c.setupDone, key)
+	}
+}
+
+// Finish implements trace.Sink: the first I4 violation wins (matching
+// CheckResult's order), then I2.
+func (c *StreamChecker) Finish() error {
+	if err := c.inner.Finish(); err != nil {
+		return c.tr.fail("I4: trace invalid: %v", err)
+	}
+	return c.err
+}
+
+// RunStreaming is Run in bounded memory: the trace streams through a
+// StreamChecker instead of materializing, the per-job log is
+// discarded, and the aggregate invariants check the counters. The
+// returned error is the first violation (or an infrastructure error);
+// the fault schedule comes back for replay either way.
+func (tr *Trial) RunStreaming() (*chaos.Schedule, error) {
+	inner, err := tr.newInner()
+	if err != nil {
+		return nil, tr.fail("%v", err)
+	}
+	inj, err := chaos.New(inner, tr.Chaos, stats.NewRNG(stats.DeriveSeed(tr.Seed, streamChaos, 1)))
+	if err != nil {
+		return nil, tr.fail("%v", err)
+	}
+	rec := inj.StartRecording()
+	cfg := tr.SimConfig(inj)
+	cfg.RecordTrace = false
+	cfg.TraceSink = NewStreamChecker(tr)
+	cfg.DiscardJobResults = true
+	res, err := sched.Run(cfg)
+	if err != nil {
+		// Violations found by the sink surface here, already carrying
+		// the trial seed.
+		return rec, err
+	}
+	if err := tr.CheckAggregates(res); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// CheckStreaming is Check's bounded-memory twin: derive the trial from
+// its seed, simulate under chaos, verify I1–I5 one-pass. Skipped
+// (infeasible) trials return nil.
+func CheckStreaming(seed uint64) error {
+	tr, ok, err := NewTrial(seed)
+	if err != nil || !ok {
+		return err
+	}
+	_, err = tr.RunStreaming()
+	return err
+}

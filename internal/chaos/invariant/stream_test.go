@@ -1,0 +1,109 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"rtoffload/internal/chaos/invariant"
+	"rtoffload/internal/stats"
+	"rtoffload/internal/trace"
+)
+
+// TestStreamingMatchesMaterialized is the invariant-level differential:
+// the bounded-memory RunStreaming path must accept exactly the trials
+// the materialized Run + CheckResult path accepts, on the same fault
+// schedules (both paths derive identical RNG streams from the seed).
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	checked := 0
+	for i := 0; i < trials; i++ {
+		seed := stats.DeriveSeed(0xbeefcafe, 11, uint64(i))
+		tr, ok, err := invariant.NewTrial(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		_, errMat := tr.Run()
+		tr2, _, err := invariant.NewTrial(seed) // fresh trial: servers carry state
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, errStr := tr2.RunStreaming()
+		if (errMat == nil) != (errStr == nil) {
+			t.Fatalf("seed %d: materialized says %v, streaming says %v", seed, errMat, errStr)
+		}
+		checked++
+	}
+	if checked < trials/2 {
+		t.Fatalf("only %d of %d trials were feasible", checked, trials)
+	}
+}
+
+// TestStreamCheckerRejectsBadStreams feeds the streaming verifier
+// hand-built violating streams: an EDF inversion (I4) and a
+// compensation released off the Ri timer (I2).
+func TestStreamCheckerRejectsBadStreams(t *testing.T) {
+	tr := feasibleTrial(t)
+
+	t.Run("I4-edf-inversion", func(t *testing.T) {
+		c := invariant.NewStreamChecker(tr)
+		early := trace.SubID{TaskID: 1, Kind: trace.Local}
+		late := trace.SubID{TaskID: 2, Kind: trace.Local}
+		c.OpenSub(early, 0, 10_000, 4000)
+		c.OpenSub(late, 0, 99_000, 3000)
+		c.AppendSegment(trace.Segment{Start: 0, End: 3000, Sub: late})
+		err := c.Finish()
+		if err == nil || !strings.Contains(err.Error(), "I4") {
+			t.Fatalf("EDF inversion not reported as I4: %v", err)
+		}
+	})
+
+	t.Run("I2-comp-off-timer", func(t *testing.T) {
+		c := invariant.NewStreamChecker(tr)
+		// A compensation record whose setup never completed.
+		comp := trace.SubID{TaskID: 1, Seq: 0, Kind: trace.Comp}
+		c.OpenSub(comp, 5000, 20_000, 0)
+		c.CloseSub(trace.SubRecord{
+			Sub: comp, Release: 5000, Deadline: 20_000, WCET: 0,
+			Completed: true, Completion: 5000,
+		})
+		err := c.Finish()
+		if err == nil || !strings.Contains(err.Error(), "I2") {
+			t.Fatalf("orphan compensation not reported as I2: %v", err)
+		}
+	})
+}
+
+// TestStreamingBoundedTrialPasses smoke-checks CheckStreaming over a
+// seed range (the admitted sets must hold I1–I5 one-pass).
+func TestStreamingBoundedTrialPasses(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		seed := stats.DeriveSeed(0xfeed, 12, uint64(i))
+		if err := invariant.CheckStreaming(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// feasibleTrial searches the seed space for an admitted trial.
+func feasibleTrial(t *testing.T) *invariant.Trial {
+	t.Helper()
+	for i := 0; ; i++ {
+		seed := stats.DeriveSeed(0xabad1dea, 13, uint64(i))
+		tr, ok, err := invariant.NewTrial(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			return tr
+		}
+		if i > 400 {
+			t.Fatal("no feasible trial in 400 seeds")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/server"
+)
+
+// smallCampaign is a 16-cell grid tiny enough to run in a unit test
+// yet spanning every axis.
+func smallCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:        0x9e1,
+		TaskSets:    4,
+		Tasks:       12,
+		Scenarios:   []server.Scenario{server.Idle, server.Busy},
+		FaultScales: []float64{0, 0.75},
+		Horizon:     rtime.FromMillis(400),
+		Parallel:    2,
+	}
+}
+
+// tableBytes runs a campaign to completion and renders its table.
+func tableBytes(t *testing.T, cfg CampaignConfig) []byte {
+	t.Helper()
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("campaign incomplete: %d/%d", len(res.Cells), res.Total)
+	}
+	var buf bytes.Buffer
+	if err := WriteCampaignTable(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignResumeByteIdentical is the kill-and-resume differential:
+// a campaign interrupted by the Limit hook and resumed from its
+// checkpoint must print the exact bytes of an uninterrupted run.
+func TestCampaignResumeByteIdentical(t *testing.T) {
+	cfg := smallCampaign()
+	want := tableBytes(t, cfg)
+
+	ck := cfg
+	ck.Checkpoint = filepath.Join(t.TempDir(), "campaign.jsonl")
+	ck.Limit = 5
+	part, err := RunCampaign(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Complete() || part.Computed != 5 || part.Resumed != 0 {
+		t.Fatalf("limited run: complete=%v computed=%d resumed=%d",
+			part.Complete(), part.Computed, part.Resumed)
+	}
+	if err := WriteCampaignTable(os.Stderr, part); err == nil {
+		t.Fatal("incomplete campaign rendered a table")
+	}
+
+	ck.Limit = 0
+	full, err := RunCampaign(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete() || full.Resumed != 5 || full.Computed != full.Total-5 {
+		t.Fatalf("resumed run: complete=%v computed=%d resumed=%d",
+			full.Complete(), full.Computed, full.Resumed)
+	}
+	var buf bytes.Buffer
+	if err := WriteCampaignTable(&buf, full); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("resumed table diverges:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	data, err := os.ReadFile(ck.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1+full.Total {
+		t.Fatalf("checkpoint has %d lines, want header + %d cells", len(lines), full.Total)
+	}
+}
+
+// TestCampaignResumeAfterTornWrite kills the checkpoint mid-record (a
+// torn final line, as a SIGKILL during an append leaves behind) and
+// proves the resume recomputes the lost cell and still matches.
+func TestCampaignResumeAfterTornWrite(t *testing.T) {
+	cfg := smallCampaign()
+	want := tableBytes(t, cfg)
+
+	ck := cfg
+	ck.Checkpoint = filepath.Join(t.TempDir(), "campaign.jsonl")
+	if _, err := RunCampaign(ck); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ck.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-9] // chop into the last record's JSON
+	if err := os.WriteFile(ck.Checkpoint, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunCampaign(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Computed != 1 || res.Resumed != res.Total-1 {
+		t.Fatalf("torn resume: computed=%d resumed=%d of %d", res.Computed, res.Resumed, res.Total)
+	}
+	var buf bytes.Buffer
+	if err := WriteCampaignTable(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("torn-resume table diverges:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestCampaignWorkerCountInvariance pins the determinism contract:
+// the table depends only on the config, never on the fan-out width.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	seq := smallCampaign()
+	seq.Parallel = 1
+	wide := smallCampaign()
+	wide.Parallel = 8
+	if a, b := tableBytes(t, seq), tableBytes(t, wide); !bytes.Equal(a, b) {
+		t.Fatalf("worker count changed the table:\n%s\nvs:\n%s", a, b)
+	}
+}
+
+// TestCampaignCheckpointMismatchRejected proves a checkpoint cannot be
+// resumed by a different campaign.
+func TestCampaignCheckpointMismatchRejected(t *testing.T) {
+	cfg := smallCampaign()
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "campaign.jsonl")
+	cfg.Limit = 2
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed++
+	if _, err := RunCampaign(other); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("mismatched resume accepted: %v", err)
+	}
+}
+
+// TestCampaignCorruptRecordRejected distinguishes real corruption (a
+// complete but unparseable line) from a tolerated torn tail.
+func TestCampaignCorruptRecordRejected(t *testing.T) {
+	cfg := smallCampaign()
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "campaign.jsonl")
+	cfg.Limit = 3
+	if _, err := RunCampaign(cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(cfg.Checkpoint, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{not json}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := RunCampaign(cfg); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt checkpoint accepted: %v", err)
+	}
+}
+
+// TestCampaignCellRecords sanity-checks the per-cell records: every
+// cell simulated something, and fault-free Idle cells ride the hit
+// path (positive normalized benefit over all-local).
+func TestCampaignCellRecords(t *testing.T) {
+	cfg := smallCampaign()
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		if c.Cell != i {
+			t.Fatalf("cell %d recorded as %d", i, c.Cell)
+		}
+		if c.Jobs <= 0 || c.Finished <= 0 {
+			t.Fatalf("cell %d simulated nothing: %+v", i, c)
+		}
+		if c.Scenario == server.Idle.String() && c.Fault == 0 && c.Benefit <= 1 {
+			t.Fatalf("fault-free idle cell %d gained no benefit: %+v", i, c)
+		}
+	}
+}

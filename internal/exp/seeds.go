@@ -24,4 +24,5 @@ const (
 	streamFPAblation
 	streamChaosAblation
 	streamChaosWrap
+	streamCampaign
 )

@@ -117,12 +117,24 @@ type sim struct {
 	//rtlint:arena
 	free []int32
 
-	// The event calendar. ready is keyed by (prio, task, seq); the
-	// other three by (instant, task-or-index, seq).
+	// The event calendar. ready is keyed by (prio, task, seq) — under
+	// FixedPriority the key is a rank, not an instant, so it stays a
+	// heap. The three *time* queues are Calendars: zero-valued they are
+	// plain heaps; init switches them to time wheels at fleet scale
+	// (Config.EventQueue), with bit-identical pop order either way.
 	ready     eventq.Heap
-	waking    eventq.Heap
-	deadlines eventq.Heap
-	releases  eventq.Heap
+	waking    eventq.Calendar
+	deadlines eventq.Calendar
+	releases  eventq.Calendar
+
+	// sink receives the execution trace as it happens (nil when neither
+	// RecordTrace nor TraceSink is set). pend is the engine-level
+	// coalescing buffer: dispatch slices are merged here and flushed as
+	// maximal same-sub segments, while lifecycle events stream through
+	// immediately — the causal order trace.Sink documents.
+	sink    trace.Sink
+	pend    trace.Segment
+	hasPend bool
 
 	abortPolicy bool
 	fixedPrio   bool
@@ -154,6 +166,7 @@ func (s *sim) init() {
 	s.free = make([]int32, 0, 2*n)
 
 	est := 0
+	var maxSpan rtime.Duration
 	for i := range cfg.Assignments {
 		a := &cfg.Assignments[i]
 		t := a.Task
@@ -189,11 +202,37 @@ func (s *sim) init() {
 		}
 		s.stats[i] = TaskStats{TaskID: t.ID}
 		s.res.PerTask[t.ID] = &s.stats[i]
+		est += int(cfg.Horizon/t.Period) + 1
+		if span := rtime.Duration(rtime.MaxInstant(rtime.Instant(t.Period), rtime.Instant(t.Deadline))); span > maxSpan {
+			maxSpan = span
+		}
+	}
+	if cfg.EventQueue == ForceWheel || (cfg.EventQueue == AutoQueue && n >= wheelThreshold) {
+		// Every queued instant is within maxSpan of the simulation
+		// clock (next release ≤ now + period + jitter, deadline ≤
+		// release + D, wake ≤ now + budget ≤ now + D), so a ring
+		// spanning 2× that keeps steady-state events out of the
+		// overflow tier.
+		shift, bits := wheelGeometry(maxSpan + cfg.ReleaseJitter)
+		s.releases.InitWheel(shift, bits)
+		s.waking.InitWheel(shift, bits)
+		if s.abortPolicy {
+			s.deadlines.InitWheel(shift, bits)
+		}
+	}
+	for i := range cfg.Assignments {
 		// First release at 0; horizon is validated positive.
 		s.releases.Push(eventq.Entry{Key: 0, TieA: int64(i), H: int32(i)})
-		est += int(cfg.Horizon/t.Period) + 1
 	}
-	s.res.Jobs = make([]JobResult, 0, est)
+	if !cfg.DiscardJobResults {
+		s.res.Jobs = make([]JobResult, 0, est)
+	}
+	if s.res.Trace != nil {
+		// Segment count ≈ sub-jobs (≤ 2 per job) plus preemption slack;
+		// reserving here removes the steady-state reallocation that
+		// dominated long-horizon recording.
+		s.res.Trace.Reserve(2*est+est/2, 2*est)
+	}
 
 	if s.fixedPrio {
 		// Deadline-monotonic ranks, ties by task ID, written back into
@@ -213,6 +252,20 @@ func (s *sim) init() {
 			s.info[i].rank = int64(r)
 		}
 	}
+}
+
+// wheelGeometry picks the time-wheel shape for a system whose queued
+// instants stay within span of the clock: 8192 buckets, granule grown
+// until the ring covers 2× span. Geometry only affects speed — pop
+// order is exact for any shape.
+func wheelGeometry(span rtime.Duration) (shift, bits uint) {
+	bits = 13
+	if span < 1 {
+		span = 1
+	}
+	for shift = 0; shift < 40 && int64(1)<<(shift+bits) < 2*int64(span); shift++ {
+	}
+	return shift, bits
 }
 
 // prioOf computes a job's dispatch key under the configured policy.
@@ -242,7 +295,7 @@ func (s *sim) freeJob(h int32) {
 }
 
 //rtlint:hotpath -- event-calendar dispatch loop; steady-state dispatch must not allocate
-func (s *sim) run() {
+func (s *sim) run() error {
 	s.init() //rtlint:allow hotalloc -- one-time table and calendar construction before the loop starts
 	next := rtime.Forever
 	dirty := true // next must be (re)computed before first use
@@ -274,11 +327,8 @@ func (s *sim) run() {
 		s.now = s.now.Add(slice)
 		j.remaining -= slice
 		s.res.CPUBusy += slice
-		if s.res.Trace != nil {
-			s.res.Trace.Append(trace.Segment{
-				Start: start, End: s.now,
-				Sub: trace.SubID{TaskID: s.info[j.ai].taskID, Seq: j.seq, Kind: j.kind},
-			})
+		if s.sink != nil {
+			s.emitSlice(start, s.now, trace.SubID{TaskID: s.info[j.ai].taskID, Seq: j.seq, Kind: j.kind})
 		}
 		if j.remaining == 0 {
 			s.ready.PopMin()
@@ -287,6 +337,31 @@ func (s *sim) run() {
 			}
 		}
 	}
+	if s.sink != nil {
+		if s.hasPend {
+			s.sink.AppendSegment(s.pend) //rtlint:allow hotalloc -- one flush after the loop; sinks are pluggable components
+			s.hasPend = false
+		}
+		return s.sink.Finish() //rtlint:allow hotalloc -- end-of-run sink finalization, outside the dispatch steady state
+	}
+	return nil
+}
+
+// emitSlice feeds one dispatch slice into the trace sink, coalescing
+// consecutive slices of the same sub-job so sinks see maximal segments
+// (memory then grows with preemptions, not scheduler events). Sub-job
+// lifecycle events bypass this buffer, giving sinks the causal order
+// the Sink contract documents.
+func (s *sim) emitSlice(start, end rtime.Instant, id trace.SubID) {
+	if s.hasPend {
+		if s.pend.Sub == id && s.pend.End == start {
+			s.pend.End = end
+			return
+		}
+		s.sink.AppendSegment(s.pend) //rtlint:allow hotalloc -- sink implementations are pluggable components; the shipped sinks' emit paths carry their own alloc gates
+	}
+	s.pend = trace.Segment{Start: start, End: end, Sub: id}
+	s.hasPend = true
 }
 
 // admit consumes every event due at or before now — releases, then
@@ -394,6 +469,9 @@ func (s *sim) release(i int, at rtime.Instant) {
 	j.remaining = j.wcet
 	j.subRelease = at
 	j.prio = s.prioOf(j.ai, j.subDeadline)
+	if s.sink != nil {
+		s.sink.OpenSub(trace.SubID{TaskID: in.taskID, Seq: j.seq, Kind: j.kind}, at, j.subDeadline, j.wcet) //rtlint:allow hotalloc -- sink implementations are pluggable components with their own alloc gates
+	}
 	s.ready.Push(eventq.Entry{Key: j.prio, TieA: in.tie, TieB: j.seq, H: h})
 	if s.abortPolicy {
 		s.deadlines.Push(eventq.Entry{Key: int64(j.deadline), TieA: in.tie, TieB: j.seq, H: h})
@@ -460,6 +538,9 @@ func (s *sim) resume(h int32) {
 		j.wcet = in.comp
 	}
 	j.remaining = j.wcet
+	if s.sink != nil {
+		s.sink.OpenSub(trace.SubID{TaskID: in.taskID, Seq: j.seq, Kind: j.kind}, j.subRelease, j.subDeadline, j.wcet) //rtlint:allow hotalloc -- sink implementations are pluggable components with their own alloc gates
+	}
 	if j.wcet == 0 {
 		// Zero post-processing: the job is done the moment the result
 		// arrives. Record a zero-length sub-job for accounting.
@@ -497,16 +578,18 @@ func (s *sim) abort(h int32) {
 	if in.offload {
 		outcome = OffloadMissed // never served within its budget
 	}
-	s.res.Jobs = append(s.res.Jobs, JobResult{
-		TaskID:   in.taskID,
-		Seq:      j.seq,
-		Release:  j.release,
-		Deadline: j.deadline,
-		Finish:   j.deadline,
-		Outcome:  outcome,
-		Missed:   true,
-		Finished: false,
-	})
+	if !s.cfg.DiscardJobResults {
+		s.res.Jobs = append(s.res.Jobs, JobResult{
+			TaskID:   in.taskID,
+			Seq:      j.seq,
+			Release:  j.release,
+			Deadline: j.deadline,
+			Finish:   j.deadline,
+			Outcome:  outcome,
+			Missed:   true,
+			Finished: false,
+		})
+	}
 	j.phase = phaseDone
 	s.freeJob(h)
 }
@@ -517,17 +600,19 @@ func (s *sim) finishJob(h int32, out Outcome, benefit float64) {
 	in := &s.info[j.ai]
 	st := &s.stats[j.ai]
 	missed := s.now > j.deadline
-	s.res.Jobs = append(s.res.Jobs, JobResult{
-		TaskID:   in.taskID,
-		Seq:      j.seq,
-		Release:  j.release,
-		Deadline: j.deadline,
-		Finish:   s.now,
-		Outcome:  out,
-		Benefit:  benefit,
-		Missed:   missed,
-		Finished: true,
-	})
+	if !s.cfg.DiscardJobResults {
+		s.res.Jobs = append(s.res.Jobs, JobResult{
+			TaskID:   in.taskID,
+			Seq:      j.seq,
+			Release:  j.release,
+			Deadline: j.deadline,
+			Finish:   s.now,
+			Outcome:  out,
+			Benefit:  benefit,
+			Missed:   missed,
+			Finished: true,
+		})
+	}
 	st.Finished++
 	switch out {
 	case RanLocal:
@@ -559,9 +644,9 @@ func (s *sim) finishJob(h int32, out Outcome, benefit float64) {
 	s.freeJob(h)
 }
 
-// recordSub appends the current sub-job's record to the trace.
+// recordSub closes the current sub-job in the trace sink.
 func (s *sim) recordSub(j *jobState, completed bool) {
-	if s.res.Trace == nil {
+	if s.sink == nil {
 		return
 	}
 	rec := trace.SubRecord{
@@ -574,15 +659,15 @@ func (s *sim) recordSub(j *jobState, completed bool) {
 		rec.Completed = true
 		rec.Completion = s.now
 	}
-	s.res.Trace.Subs = append(s.res.Trace.Subs, rec)
+	s.sink.CloseSub(rec) //rtlint:allow hotalloc -- sink implementations are pluggable components with their own alloc gates
 }
 
-// recordSubAbandoned appends an abandoned sub-job record to the trace.
+// recordSubAbandoned closes an abandoned sub-job in the trace sink.
 func (s *sim) recordSubAbandoned(j *jobState) {
-	if s.res.Trace == nil {
+	if s.sink == nil {
 		return
 	}
-	s.res.Trace.Subs = append(s.res.Trace.Subs, trace.SubRecord{
+	s.sink.CloseSub(trace.SubRecord{ //rtlint:allow hotalloc -- sink implementations are pluggable components with their own alloc gates
 		Sub:         trace.SubID{TaskID: s.info[j.ai].taskID, Seq: j.seq, Kind: j.kind},
 		Release:     j.subRelease,
 		Deadline:    j.subDeadline,

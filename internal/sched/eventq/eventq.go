@@ -65,7 +65,14 @@ func (h *Heap) Contains(hd int32) bool {
 // Push inserts e. The handle must not already be queued.
 func (h *Heap) Push(e Entry) {
 	if int(e.H) >= len(h.pos) {
-		grown := make([]int32, int(e.H)+1) //rtlint:allow hotalloc -- handle-table growth; the table stabilizes at the peak live-job count
+		n := int(e.H) + 1
+		if n < 2*len(h.pos) {
+			// Doubling keeps monotonically growing handle spaces
+			// (job-indexed queues at fleet scale) amortized O(1) per
+			// push instead of one full-table copy each.
+			n = 2 * len(h.pos)
+		}
+		grown := make([]int32, n) //rtlint:allow hotalloc -- handle-table growth; amortized out by doubling
 		copy(grown, h.pos)
 		h.pos = grown
 	}

@@ -1,0 +1,196 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drainBoth pops both queues to exhaustion, asserting identical pop
+// streams.
+func drainBoth(t *testing.T, c *Calendar, h *Heap) {
+	t.Helper()
+	for h.Len() > 0 {
+		if c.Len() != h.Len() {
+			t.Fatalf("Len: calendar %d, heap %d", c.Len(), h.Len())
+		}
+		want := h.PopMin()
+		if got := c.Min(); got != want {
+			t.Fatalf("Min: calendar %+v, heap %+v", got, want)
+		}
+		if got := c.PopMin(); got != want {
+			t.Fatalf("PopMin: calendar %+v, heap %+v", got, want)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("calendar holds %d entries after heap drained", c.Len())
+	}
+}
+
+// TestCalendarMatchesHeapRandom drives a Calendar and a Heap through
+// the same randomized monotone event schedule — pushes at or after the
+// last popped key, interleaved pops and removes — and asserts
+// bit-identical pop streams. This is the total-order property the
+// engine's differential tests rely on, exercised directly.
+func TestCalendarMatchesHeapRandom(t *testing.T) {
+	for _, geom := range []struct {
+		name            string
+		granule, bucket uint
+	}{
+		{"zero-value-heap-mode", 0, 0},
+		{"fine", 2, 4},   // 4-unit granule, 16 buckets: heavy overflow traffic
+		{"coarse", 8, 6}, // 256-unit granule, 64 buckets: crowded buckets
+	} {
+		t.Run(geom.name, func(t *testing.T) {
+			for seed := int64(0); seed < 30; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				var c Calendar
+				if geom.bucket > 0 {
+					c.InitWheel(geom.granule, geom.bucket)
+				}
+				var h Heap
+				live := map[int32]bool{}
+				now := int64(0)
+				nextH := int32(0)
+				for op := 0; op < 2000; op++ {
+					switch r := rng.Intn(10); {
+					case r < 5 || h.Len() == 0:
+						// TieB is the unique push counter: the engine's
+						// queues always end ties on a unique (task, seq)
+						// pair, so the triple is a strict total order.
+						e := Entry{
+							Key:  now + rng.Int63n(1<<uint(4+rng.Intn(10))),
+							TieA: rng.Int63n(8),
+							TieB: int64(nextH),
+							H:    nextH,
+						}
+						nextH++
+						c.Push(e)
+						h.Push(e)
+						live[e.H] = true
+					case r < 8:
+						want := h.PopMin()
+						if got := c.PopMin(); got != want {
+							t.Fatalf("seed %d op %d: PopMin calendar %+v, heap %+v", seed, op, got, want)
+						}
+						delete(live, want.H)
+						if want.Key > now {
+							now = want.Key
+						}
+					default:
+						// Remove a pseudo-random live handle (scan for
+						// determinism-by-seed; map order doesn't matter
+						// because both queues get the same handle).
+						victim := int32(rng.Intn(int(nextH)))
+						wantOK := h.Remove(victim)
+						if gotOK := c.Remove(victim); gotOK != wantOK {
+							t.Fatalf("seed %d op %d: Remove(%d) calendar %v, heap %v", seed, op, victim, gotOK, wantOK)
+						}
+						delete(live, victim)
+					}
+					if c.Len() != h.Len() {
+						t.Fatalf("seed %d op %d: Len calendar %d, heap %d", seed, op, c.Len(), h.Len())
+					}
+				}
+				drainBoth(t, &c, &h)
+			}
+		})
+	}
+}
+
+// TestCalendarContains exercises the location table across the ring
+// and the overflow tier.
+func TestCalendarContains(t *testing.T) {
+	var c Calendar
+	c.InitWheel(2, 3)              // 4-unit granule, 8 buckets: horizon 32 units
+	c.Push(Entry{Key: 5, H: 1})    // ring
+	c.Push(Entry{Key: 1000, H: 2}) // overflow
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("queued handles not reported present")
+	}
+	if c.Contains(3) || c.Contains(99) {
+		t.Fatal("absent handle reported present")
+	}
+	if !c.Remove(2) {
+		t.Fatal("overflow remove failed")
+	}
+	if c.Contains(2) {
+		t.Fatal("removed overflow handle still present")
+	}
+	if got := c.PopMin(); got.H != 1 {
+		t.Fatalf("PopMin H = %d, want 1", got.H)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after draining", c.Len())
+	}
+}
+
+// TestCalendarReset verifies Reset empties both tiers and the calendar
+// is reusable afterwards.
+func TestCalendarReset(t *testing.T) {
+	var c Calendar
+	c.InitWheel(2, 3)
+	for i := int32(0); i < 20; i++ {
+		c.Push(Entry{Key: int64(i) * 7, H: i})
+	}
+	if c.PopMin().Key != 0 {
+		t.Fatal("unexpected min before reset")
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Contains(3) {
+		t.Fatalf("Len = %d after Reset", c.Len())
+	}
+	c.Push(Entry{Key: 42, H: 7})
+	if got := c.PopMin(); got.Key != 42 || got.H != 7 {
+		t.Fatalf("post-reset PopMin = %+v", got)
+	}
+}
+
+// TestCalendarOverflowMigration forces the lazy far-future tier: every
+// entry lands in overflow, and the cursor jump plus migration must
+// still produce the exact total order.
+func TestCalendarOverflowMigration(t *testing.T) {
+	var c Calendar
+	c.InitWheel(1, 2) // 2-unit granule, 4 buckets: horizon 8 units
+	keys := []int64{1_000_000, 500, 1_000_001, 90, 91, 500_000}
+	for i, k := range keys {
+		c.Push(Entry{Key: k, H: int32(i)})
+	}
+	want := []int64{90, 91, 500, 500_000, 1_000_000, 1_000_001}
+	for i, k := range want {
+		if got := c.PopMin(); got.Key != k {
+			t.Fatalf("pop %d: key %d, want %d", i, got.Key, k)
+		}
+	}
+}
+
+// TestCalendarZeroAlloc gates the hotpath contract on the wheel's warm
+// operations: with the ring buckets, location table, and overflow
+// backing arrays grown, push/min/pop/remove cycles must not allocate.
+func TestCalendarZeroAlloc(t *testing.T) {
+	var c Calendar
+	c.InitWheel(3, 5)
+	// Warm every structure: ring buckets, overflow heap, loc table.
+	for i := int32(0); i < 64; i++ {
+		c.Push(Entry{Key: int64(i) * 3, H: i})
+	}
+	for i := int32(64); i < 96; i++ {
+		c.Push(Entry{Key: 10_000 + int64(i), H: i}) // overflow tier
+	}
+	for c.Len() > 0 {
+		c.PopMin()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Push(Entry{Key: 50, H: 3})
+		c.Push(Entry{Key: 51, H: 4})
+		c.Push(Entry{Key: 100_000, H: 5}) // overflow path
+		if c.Min().H != 3 {
+			t.Error("unexpected min")
+		}
+		c.Remove(4)
+		c.PopMin()
+		c.Remove(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm calendar operations allocate %.1f times per run; the hotpath contract is 0", allocs)
+	}
+}

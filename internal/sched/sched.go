@@ -125,15 +125,50 @@ type Config struct {
 	ReleaseJitter rtime.Duration
 	// RNG drives sporadic jitter; may be nil for periodic releases.
 	RNG *stats.RNG
-	// RecordTrace captures the full execution trace (costly for long
-	// runs).
+	// RecordTrace captures the full execution trace in memory (costly
+	// for long runs; see TraceSink for the streaming alternative).
 	RecordTrace bool
+	// TraceSink streams the execution trace — coalesced segments plus
+	// sub-job lifecycle events — to a trace.Sink as the run progresses,
+	// so long horizons verify (trace.StreamChecker) or persist
+	// (trace.BinarySink) in bounded memory. Mutually exclusive with
+	// RecordTrace; the sink's Finish error surfaces from Run.
+	TraceSink trace.Sink
 	// OnMiss selects the overrun policy (default ContinueLate).
 	OnMiss MissPolicy
 	// CollectLatencies stores every job's response time per task,
 	// enabling Result.LatencyPercentile.
 	CollectLatencies bool
+	// EventQueue selects the event-calendar representation (default
+	// AutoQueue).
+	EventQueue QueueMode
+	// DiscardJobResults drops the per-job Result.Jobs log (the per-task
+	// statistics, miss counts, and benefit totals are still collected).
+	// At campaign scale the job log is the last O(jobs) allocation; the
+	// aggregates are what the campaign keeps anyway.
+	DiscardJobResults bool
 }
+
+// QueueMode selects the representation of the engine's time-keyed
+// event queues (releases, wake timers, deadline expiries).
+type QueueMode int
+
+const (
+	// AutoQueue uses binary heaps for small systems and switches the
+	// time queues to hierarchical time wheels (eventq.Calendar) from
+	// wheelThreshold tasks up. Both orders are bit-identical, so the
+	// choice is purely a performance trade.
+	AutoQueue QueueMode = iota
+	// ForceHeap keeps every queue a binary heap regardless of size.
+	ForceHeap
+	// ForceWheel uses time wheels for the time queues at any size.
+	ForceWheel
+)
+
+// wheelThreshold is the task count at which AutoQueue switches the
+// time queues to wheels: below it the heaps' cache locality wins,
+// above it heap depth (log n cache misses per event) dominates.
+const wheelThreshold = 512
 
 // validate checks the configuration ahead of a run; shared by the
 // engine and the retained reference dispatcher.
@@ -172,6 +207,12 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.OnMiss != ContinueLate && cfg.OnMiss != AbortAtDeadline {
 		return fmt.Errorf("sched: unknown miss policy %d", int(cfg.OnMiss))
+	}
+	if cfg.EventQueue != AutoQueue && cfg.EventQueue != ForceHeap && cfg.EventQueue != ForceWheel {
+		return fmt.Errorf("sched: unknown event queue mode %d", int(cfg.EventQueue))
+	}
+	if cfg.RecordTrace && cfg.TraceSink != nil {
+		return fmt.Errorf("sched: RecordTrace and TraceSink are mutually exclusive; pass a *trace.Trace as the sink to materialize")
 	}
 	return nil
 }
@@ -291,7 +332,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s := newSim(&cfg)
-	s.run()
+	if err := s.run(); err != nil {
+		return nil, err
+	}
 	return s.res, nil
 }
 
@@ -302,8 +345,12 @@ func newSim(cfg *Config) *sim {
 		Horizon: cfg.Horizon,
 		Policy:  cfg.Policy,
 	}}
-	if cfg.RecordTrace {
+	switch {
+	case cfg.RecordTrace:
 		s.res.Trace = &trace.Trace{}
+		s.sink = s.res.Trace
+	case cfg.TraceSink != nil:
+		s.sink = cfg.TraceSink
 	}
 	return s
 }

@@ -1,0 +1,262 @@
+// Binary on-disk trace streaming. At campaign scale a trace does not
+// fit in memory — 100k tasks over a long horizon produce millions of
+// segments — so BinarySink serializes the Sink event stream into a
+// compact fixed-width little-endian record format, buffering into a
+// reusable staging array so the emit path allocates nothing: the only
+// dynamic call is one io.Writer flush per ~64 KiB of trace.
+// ReadBinary replays a serialized stream back into any Sink (a
+// StreamChecker to verify from disk, a *Trace to materialize).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rtoffload/internal/rtime"
+)
+
+// Record tags and fixed record sizes of the binary trace format. Every
+// record is its tag byte followed by little-endian fixed-width fields;
+// the stream opens with binMagic and closes with one tagEnd trailer
+// carrying the open/segment/close counts for end-to-end verification.
+const (
+	binMagic = "RTOFTRC1"
+
+	tagOpen  = 'O' // subID (taskID i32, seq i64, kind u8), release, deadline, wcet i64
+	tagSeg   = 'S' // subID, start, end i64
+	tagClose = 'C' // subID, release, deadline, wcet i64, flags u8 (1 completed, 2 abandoned), at i64
+	tagEnd   = 'E' // opens, segments, closes i64
+
+	openSize  = 1 + 13 + 8 + 8 + 8
+	segSize   = 1 + 13 + 8 + 8
+	closeSize = 1 + 13 + 8 + 8 + 8 + 1 + 8
+	endSize   = 1 + 8 + 8 + 8
+
+	// binBufSize is the staging buffer: large enough to amortize the
+	// flush to ~one dynamic write per thousand records.
+	binBufSize = 64 << 10
+)
+
+// BinarySink streams a trace to w in the binary record format. The
+// emit path (OpenSub, AppendSegment, CloseSub) is allocation-free once
+// the staging buffer exists; errors from the underlying writer are
+// sticky and surface from Finish.
+type BinarySink struct {
+	w io.Writer
+	//rtlint:arena
+	buf    []byte
+	opens  int64
+	segs   int64
+	closes int64
+	err    error
+}
+
+// NewBinarySink returns a sink streaming to w, with the stream header
+// already staged. Wrap slow writers in a *bufio.Writer upstream only
+// if they cannot take ~64 KiB writes; the sink already batches.
+func NewBinarySink(w io.Writer) *BinarySink {
+	bs := &BinarySink{w: w, buf: make([]byte, 0, binBufSize)}
+	bs.buf = append(bs.buf, binMagic...)
+	return bs
+}
+
+// Counts reports the records emitted so far (opens, segments, closes)
+// — the same numbers the trailer seals.
+func (bs *BinarySink) Counts() (opens, segments, closes int64) {
+	return bs.opens, bs.segs, bs.closes
+}
+
+// ensure flushes the staging buffer when fewer than n bytes remain.
+func (bs *BinarySink) ensure(n int) {
+	if cap(bs.buf)-len(bs.buf) < n {
+		bs.flush()
+	}
+}
+
+// flush hands the staged bytes to the writer. On error the sink goes
+// sticky-failed and silently discards further output; Finish reports.
+func (bs *BinarySink) flush() {
+	if len(bs.buf) == 0 {
+		return
+	}
+	if bs.err == nil {
+		_, err := bs.w.Write(bs.buf) //rtlint:allow hotalloc -- one dynamic writer call per 64 KiB of staged trace; the emit path itself stays allocation-free
+		if err != nil {
+			bs.err = err
+		}
+	}
+	bs.buf = bs.buf[:0]
+}
+
+func (bs *BinarySink) u8(v byte) {
+	bs.buf = append(bs.buf, v)
+}
+
+func (bs *BinarySink) u32(v uint32) {
+	bs.buf = append(bs.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (bs *BinarySink) u64(v uint64) {
+	bs.buf = append(bs.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func (bs *BinarySink) subID(id SubID) {
+	bs.u32(uint32(int32(id.TaskID)))
+	bs.u64(uint64(id.Seq))
+	bs.u8(byte(id.Kind))
+}
+
+// OpenSub implements Sink.
+//
+//rtlint:hotpath
+func (bs *BinarySink) OpenSub(id SubID, release, deadline rtime.Instant, wcet rtime.Duration) {
+	bs.ensure(openSize)
+	bs.u8(tagOpen)
+	bs.subID(id)
+	bs.u64(uint64(release))
+	bs.u64(uint64(deadline))
+	bs.u64(uint64(wcet))
+	bs.opens++
+}
+
+// AppendSegment implements Sink. Segments are expected coalesced (the
+// recorder's contract); the sink writes them verbatim.
+//
+//rtlint:hotpath
+func (bs *BinarySink) AppendSegment(s Segment) {
+	bs.ensure(segSize)
+	bs.u8(tagSeg)
+	bs.subID(s.Sub)
+	bs.u64(uint64(s.Start))
+	bs.u64(uint64(s.End))
+	bs.segs++
+}
+
+// CloseSub implements Sink.
+//
+//rtlint:hotpath
+func (bs *BinarySink) CloseSub(r SubRecord) {
+	bs.ensure(closeSize)
+	bs.u8(tagClose)
+	bs.subID(r.Sub)
+	bs.u64(uint64(r.Release))
+	bs.u64(uint64(r.Deadline))
+	bs.u64(uint64(r.WCET))
+	var flags byte
+	at := rtime.Instant(0)
+	if r.Completed {
+		flags |= 1
+		at = r.Completion
+	}
+	if r.Abandoned {
+		flags |= 2
+		at = r.AbandonTime
+	}
+	bs.u8(flags)
+	bs.u64(uint64(at))
+	bs.closes++
+}
+
+// Finish implements Sink: it writes the count trailer, flushes, and
+// reports the first writer error.
+func (bs *BinarySink) Finish() error {
+	bs.ensure(endSize)
+	bs.u8(tagEnd)
+	bs.u64(uint64(bs.opens))
+	bs.u64(uint64(bs.segs))
+	bs.u64(uint64(bs.closes))
+	bs.flush()
+	return bs.err
+}
+
+// ReadBinary replays a binary trace stream from r into sink, verifying
+// the header, record structure, and trailer counts, and returns
+// sink.Finish() (a read error takes precedence). Reading is not a hot
+// path; it buffers via bufio for convenience.
+func ReadBinary(r io.Reader, sink Sink) error {
+	br := bufio.NewReaderSize(r, binBufSize)
+	var magic [len(binMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("trace: reading stream header: %w", err)
+	}
+	if string(magic[:]) != binMagic {
+		return fmt.Errorf("trace: bad stream magic %q", magic[:])
+	}
+	readU64 := func(buf []byte, at int) uint64 { return binary.LittleEndian.Uint64(buf[at:]) }
+	readSub := func(buf []byte) SubID {
+		return SubID{
+			TaskID: int(int32(binary.LittleEndian.Uint32(buf))),
+			Seq:    int64(readU64(buf, 4)),
+			Kind:   Kind(buf[12]),
+		}
+	}
+	var opens, segs, closes int64
+	var rec [closeSize]byte
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: stream truncated before trailer: %w", err)
+		}
+		switch tag {
+		case tagOpen:
+			if _, err := io.ReadFull(br, rec[:openSize-1]); err != nil {
+				return fmt.Errorf("trace: truncated open record: %w", err)
+			}
+			sink.OpenSub(readSub(rec[:]),
+				rtime.Instant(readU64(rec[:], 13)),
+				rtime.Instant(readU64(rec[:], 21)),
+				rtime.Duration(readU64(rec[:], 29)))
+			opens++
+		case tagSeg:
+			if _, err := io.ReadFull(br, rec[:segSize-1]); err != nil {
+				return fmt.Errorf("trace: truncated segment record: %w", err)
+			}
+			sink.AppendSegment(Segment{
+				Sub:   readSub(rec[:]),
+				Start: rtime.Instant(readU64(rec[:], 13)),
+				End:   rtime.Instant(readU64(rec[:], 21)),
+			})
+			segs++
+		case tagClose:
+			if _, err := io.ReadFull(br, rec[:closeSize-1]); err != nil {
+				return fmt.Errorf("trace: truncated close record: %w", err)
+			}
+			sr := SubRecord{
+				Sub:      readSub(rec[:]),
+				Release:  rtime.Instant(readU64(rec[:], 13)),
+				Deadline: rtime.Instant(readU64(rec[:], 21)),
+				WCET:     rtime.Duration(readU64(rec[:], 29)),
+			}
+			flags, at := rec[37], rtime.Instant(readU64(rec[:], 38))
+			if flags&1 != 0 {
+				sr.Completed, sr.Completion = true, at
+			}
+			if flags&2 != 0 {
+				sr.Abandoned, sr.AbandonTime = true, at
+			}
+			sink.CloseSub(sr)
+			closes++
+		case tagEnd:
+			if _, err := io.ReadFull(br, rec[:endSize-1]); err != nil {
+				return fmt.Errorf("trace: truncated trailer: %w", err)
+			}
+			wantOpens := int64(readU64(rec[:], 0))
+			wantSegs := int64(readU64(rec[:], 8))
+			wantCloses := int64(readU64(rec[:], 16))
+			if opens != wantOpens || segs != wantSegs || closes != wantCloses {
+				return fmt.Errorf("trace: trailer counts (%d opens, %d segments, %d closes) disagree with stream (%d, %d, %d)",
+					wantOpens, wantSegs, wantCloses, opens, segs, closes)
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				return fmt.Errorf("trace: trailing bytes after end-of-stream trailer")
+			}
+			return sink.Finish()
+		default:
+			return fmt.Errorf("trace: unknown record tag %#x", tag)
+		}
+	}
+}

@@ -111,6 +111,67 @@ type Trace struct {
 	Subs     []SubRecord
 }
 
+// Sink consumes a trace as the recorder produces it, so long horizons
+// can stream to disk or through one-pass checkers instead of growing
+// an in-memory Trace. The recorder's event stream is causal:
+//
+//   - OpenSub announces a sub-job the moment it becomes ready, before
+//     any of its segments;
+//   - AppendSegment delivers coalesced segments in execution order
+//     (non-decreasing Start); every OpenSub whose release precedes a
+//     segment's End, and every CloseSub whose end instant is at or
+//     before a segment's End, arrives before that segment (coalescing
+//     may delay a segment past the sub-job lifecycle events inside
+//     its span — never the other way around);
+//   - CloseSub delivers the sub-job's final record (completed or
+//     abandoned) exactly once per opened sub-job;
+//   - Finish marks the end of the trace and reports the sink's
+//     deferred error, if any.
+//
+// *Trace is the in-memory Sink (today's semantics), BinarySink the
+// zero-allocation on-disk one, and StreamChecker the one-pass
+// invariant verifier.
+type Sink interface {
+	OpenSub(id SubID, release, deadline rtime.Instant, wcet rtime.Duration)
+	AppendSegment(s Segment)
+	CloseSub(r SubRecord)
+	Finish() error
+}
+
+// Reserve pre-sizes the backing arrays for about segments Segments and
+// subs SubRecords, so a recorder that can estimate its output (jobs ×
+// expected sub-jobs, plus preemption slack) avoids the steady-state
+// reallocation that dominated long-horizon recording. It never shrinks
+// and is purely a capacity hint.
+func (tr *Trace) Reserve(segments, subs int) {
+	if segments > cap(tr.Segments)-len(tr.Segments) {
+		grown := make([]Segment, len(tr.Segments), len(tr.Segments)+segments)
+		copy(grown, tr.Segments)
+		tr.Segments = grown
+	}
+	if subs > cap(tr.Subs)-len(tr.Subs) {
+		grown := make([]SubRecord, len(tr.Subs), len(tr.Subs)+subs)
+		copy(grown, tr.Subs)
+		tr.Subs = grown
+	}
+}
+
+// OpenSub implements Sink. The in-memory trace records sub-jobs at
+// close time only (their records carry the full lifecycle), so opens
+// are ignored.
+func (tr *Trace) OpenSub(SubID, rtime.Instant, rtime.Instant, rtime.Duration) {}
+
+// AppendSegment implements Sink via Append.
+func (tr *Trace) AppendSegment(s Segment) { tr.Append(s) }
+
+// CloseSub implements Sink.
+func (tr *Trace) CloseSub(r SubRecord) {
+	tr.Subs = append(tr.Subs, r)
+}
+
+// Finish implements Sink.
+func (tr *Trace) Finish() error { return nil }
+
 // Append records one execution interval, coalescing it with the
 // previous segment when both describe the same sub-job and touch
 // (previous End == new Start). Callers must append segments in
