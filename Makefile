@@ -25,7 +25,11 @@ CAMPBASE = BenchmarkCampaignCellBaseline
 CAMP_SMOKE_DIR = .smoke-campaign
 CAMP_SMOKE_ARGS = -campaign 3 -campaign-tasks 10 -parallel 2
 
-.PHONY: build test vet race verify lint alloc-gate bench bench-sched bench-admitd bench-mckp bench-campaign bench-all bench-smoke smoke-admitd smoke-mckp smoke-campaign profile fmt fmt-check cover fuzz-smoke
+# Scratch directory and args for the fleet-campaign smoke.
+FLEET_SMOKE_DIR = .smoke-fleet
+FLEET_SMOKE_ARGS = -fleet -campaign 2 -campaign-tasks 10 -parallel 2
+
+.PHONY: build test vet race verify lint alloc-gate bench bench-sched bench-admitd bench-mckp bench-campaign bench-all bench-smoke smoke-admitd smoke-mckp smoke-campaign smoke-fleet profile fmt fmt-check cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -83,8 +87,24 @@ smoke-campaign:
 	cmp $(CAMP_SMOKE_DIR)/resumed.txt $(CAMP_SMOKE_DIR)/fresh.txt
 	@rm -rf $(CAMP_SMOKE_DIR)
 
+# Fleet-campaign kill-and-resume smoke: a small multi-server fleet
+# scenario sweep end-to-end through the fleet-aware decision manager,
+# interrupted with -campaign-limit, resumed from its checkpoint, and
+# required to match an uninterrupted run byte for byte.
+smoke-fleet:
+	@rm -rf $(FLEET_SMOKE_DIR) && mkdir -p $(FLEET_SMOKE_DIR)
+	$(GO) test -count=1 ./internal/core -run 'TestFleetSingleServerOracle'
+	$(GO) run ./cmd/ablations $(FLEET_SMOKE_ARGS) \
+		-checkpoint $(FLEET_SMOKE_DIR)/ckpt.jsonl -campaign-limit 4 > $(FLEET_SMOKE_DIR)/partial.txt
+	grep -q 'campaign interrupted: 4/' $(FLEET_SMOKE_DIR)/partial.txt
+	$(GO) run ./cmd/ablations $(FLEET_SMOKE_ARGS) \
+		-checkpoint $(FLEET_SMOKE_DIR)/ckpt.jsonl > $(FLEET_SMOKE_DIR)/resumed.txt
+	$(GO) run ./cmd/ablations $(FLEET_SMOKE_ARGS) > $(FLEET_SMOKE_DIR)/fresh.txt
+	cmp $(FLEET_SMOKE_DIR)/resumed.txt $(FLEET_SMOKE_DIR)/fresh.txt
+	@rm -rf $(FLEET_SMOKE_DIR)
+
 # The pre-merge gate.
-verify: vet lint build race alloc-gate smoke-mckp smoke-admitd smoke-campaign
+verify: vet lint build race alloc-gate smoke-mckp smoke-admitd smoke-campaign smoke-fleet
 
 # Micro-benchmarks of the incremental demand-analysis engine, recorded
 # for regression tracking: benchstat-friendly text in BENCH_2.txt and a
@@ -179,6 +199,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dbf -run='^$$' -fuzz=FuzzAnalyzerDifferential -fuzztime=10s
 	$(GO) test ./internal/chaos/invariant -run='^$$' -fuzz=FuzzChaosHardGuarantee -fuzztime=10s
 	$(GO) test ./internal/mckp -run='^$$' -fuzz=FuzzMCKPSolverAgreement -fuzztime=10s
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzFleetDecide -fuzztime=10s
 
 fmt:
 	gofmt -l -w .

@@ -51,6 +51,8 @@ func Run(w io.Writer, args []string) error {
 		checkp    = fs.String("checkpoint", "", "campaign checkpoint file (JSONL; enables resume)")
 		campLimit = fs.Int("campaign-limit", 0,
 			"stop the campaign after computing this many cells (interruption hook; 0 = run to completion)")
+		fleetMode = fs.Bool("fleet", false,
+			"campaign cells become multi-server fleet scenarios (hot, skew, degrade, failover, …); requires -campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,14 +65,21 @@ func Run(w io.Writer, args []string) error {
 	defer stopProf()
 
 	if *campaign > 0 {
-		return runCampaign(w, exp.CampaignConfig{
+		cfg := exp.CampaignConfig{
 			Seed:       *seed,
 			TaskSets:   *campaign,
 			Tasks:      *campTasks,
 			Parallel:   *par,
 			Checkpoint: *checkp,
 			Limit:      *campLimit,
-		})
+		}
+		if *fleetMode {
+			cfg.FleetScenarios = exp.FleetScenarioNames()
+		}
+		return runCampaign(w, cfg)
+	}
+	if *fleetMode {
+		return fmt.Errorf("-fleet requires -campaign N (the fleet table rides the campaign machinery)")
 	}
 
 	start := time.Now() //rtlint:allow determinism -- wall-clock timer for operator feedback on stderr
@@ -215,7 +224,11 @@ func runCampaign(w io.Writer, cfg exp.CampaignConfig) error {
 			len(res.Cells), res.Total)
 		return nil
 	}
-	fmt.Fprintf(w, "Campaign — %d cells (tasksets=%d × scenarios × fault scales), %d tasks/cell\n",
-		res.Total, cfg.TaskSets, res.Config.Tasks)
+	axis := "scenarios"
+	if len(cfg.FleetScenarios) > 0 {
+		axis = "fleet scenarios"
+	}
+	fmt.Fprintf(w, "Campaign — %d cells (tasksets=%d × %s × fault scales), %d tasks/cell\n",
+		res.Total, cfg.TaskSets, axis, res.Config.Tasks)
 	return exp.WriteCampaignTable(w, res)
 }

@@ -20,6 +20,7 @@ func TestRunGolden(t *testing.T) {
 	}{
 		{"default", []string{"-per", "3"}},
 		{"chaos", []string{"-per", "3", "-chaos"}},
+		{"fleet", []string{"-fleet", "-campaign", "2", "-campaign-tasks", "12"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,6 +68,40 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Run(&buf, []string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := Run(&buf, []string{"-fleet"}); err == nil {
+		t.Error("-fleet without -campaign accepted")
+	}
+}
+
+// TestFleetCampaignCLIResume is the fleet twin of the CLI-level
+// kill-and-resume check (the smoke-fleet CI target mirrors it).
+func TestFleetCampaignCLIResume(t *testing.T) {
+	args := []string{"-fleet", "-campaign", "2", "-campaign-tasks", "10", "-parallel", "2"}
+	var fresh bytes.Buffer
+	if err := Run(&fresh, args); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fresh.Bytes(), []byte("fleet scenarios")) {
+		t.Fatalf("fleet campaign header missing:\n%s", fresh.String())
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "fleet.jsonl")
+	withCkpt := append(args, "-checkpoint", ckpt)
+	var partial bytes.Buffer
+	if err := Run(&partial, append(withCkpt, "-campaign-limit", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(partial.Bytes(), []byte("campaign interrupted: 4/")) {
+		t.Fatalf("limited fleet run did not report interruption:\n%s", partial.String())
+	}
+	var resumed bytes.Buffer
+	if err := Run(&resumed, withCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed.Bytes(), fresh.Bytes()) {
+		t.Fatalf("resumed fleet output diverges from fresh run:\ngot:\n%s\nwant:\n%s",
+			resumed.String(), fresh.String())
 	}
 }
 

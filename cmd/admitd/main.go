@@ -2,8 +2,12 @@
 //
 // Usage:
 //
-//	admitd [-addr :8080] [-solver dp|heu|bnb|core] [-exact]      serve HTTP
-//	admitd -bench [-tenants N] [-ops N] [-seed N] [-maxlive N]   sustained-load benchmark
+//	admitd [-addr :8080] [-solver dp|heu|bnb|core] [-exact] [-fleet SPEC]   serve HTTP
+//	admitd -bench [-tenants N] [-ops N] [-seed N] [-maxlive N]              sustained-load benchmark
+//
+// With -fleet, every tenant's choice sets span (server, budget) pairs
+// of the given fleet (see internal/fleet.ParseSpec for the spec
+// grammar) and each decision view reports the routed server per task.
 //
 // In serve mode, tenants stream admit/update/evict requests over the
 // JSON API (see internal/admitd.Handler) and every re-decision rides
@@ -22,6 +26,7 @@ import (
 
 	"rtoffload/internal/admitd"
 	"rtoffload/internal/core"
+	"rtoffload/internal/fleet"
 )
 
 func main() {
@@ -44,12 +49,21 @@ func Run(w io.Writer, args []string) error {
 		ops     = fs.Int("ops", 500, "operations per tenant (bench mode)")
 		seed    = fs.Uint64("seed", 7, "deterministic churn seed (bench mode)")
 		maxlive = fs.Int("maxlive", 0, "admitted-task cap per tenant (0 = default)")
+		flSpec  = fs.String("fleet", "",
+			`multi-server fleet spec, e.g. "edge:cap=1/2;cloud:scale=3/2,rel=0.9" (empty = single server)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := core.Options{ExactUpgrade: *exact}
+	if *flSpec != "" {
+		fl, err := fleet.ParseSpec(*flSpec)
+		if err != nil {
+			return err
+		}
+		opts.Fleet = fl
+	}
 	switch *solver {
 	case "dp":
 		opts.Solver = core.SolverDP

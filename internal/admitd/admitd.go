@@ -233,6 +233,9 @@ type ChoiceView struct {
 	// (0 for local execution).
 	Budget   rtime.Duration `json:"budget"`
 	Expected float64        `json:"expected"`
+	// Server is the fleet server this choice routes to; empty for
+	// local execution and for single-server (non-fleet) services.
+	Server string `json:"server,omitempty"`
 }
 
 // viewLocked renders the shard's current decision; the caller holds
@@ -266,6 +269,9 @@ func ViewOf(name string, seq uint64, dec *core.Decision, n int) *DecisionView {
 			Level:    c.Level,
 			Budget:   c.Budget(),
 			Expected: c.Expected,
+		}
+		if c.Offload {
+			v.Choices[i].Server = c.Task.Levels[c.Level].ServerID
 		}
 	}
 	return v

@@ -1,0 +1,111 @@
+package admitd
+
+import (
+	"testing"
+
+	"rtoffload/internal/core"
+	"rtoffload/internal/fleet"
+	"rtoffload/internal/task"
+)
+
+// fleetOpts is a two-server service configuration: a capacity-capped
+// edge box next to a slower, discounted cloud.
+func fleetOpts() core.Options {
+	return core.Options{
+		Solver: core.SolverCore,
+		Fleet: fleet.Fleet{
+			Servers: []fleet.Server{
+				{ID: "edge", CapNum: 1, CapDen: 2},
+				{ID: "cloud", ScaleNum: 3, ScaleDen: 2, Reliability: 0.9},
+			},
+		},
+	}
+}
+
+// TestFleetServiceRoutesChoices drives the service with a fleet and
+// checks the wire views: offloaded choices name a fleet server, local
+// choices stay unrouted, and the view's tasks are the originals (one
+// level as admitted, not the expanded cross product).
+func TestFleetServiceRoutesChoices(t *testing.T) {
+	s := New(fleetOpts())
+	view, err := s.Admit("t", wireTask(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit("t", heavyTask(2, 100)); err != nil {
+		t.Fatal(err)
+	}
+	view, err = s.Decision("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Tasks != 2 || len(view.Choices) != 2 {
+		t.Fatalf("fleet view %+v", view)
+	}
+	for _, c := range view.Choices {
+		if c.Offload {
+			if c.Server != "edge" && c.Server != "cloud" {
+				t.Fatalf("choice %+v routed to unknown server", c)
+			}
+			if c.Budget <= 0 {
+				t.Fatalf("offloaded choice %+v has no budget", c)
+			}
+		} else if c.Server != "" {
+			t.Fatalf("local choice %+v carries a server", c)
+		}
+	}
+
+	// The wire task must keep its admitted shape after eviction churn.
+	if _, err := s.Evict("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	view, err = s.Decision("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Tasks != 1 {
+		t.Fatalf("post-evict view %+v", view)
+	}
+}
+
+// TestFleetServiceMatchesPlainOnSoloFleet pins the degenerate case at
+// the service layer: a 1-server neutral fleet yields choice vectors
+// identical to the plain single-server service (modulo the Server
+// attribution the fleet view adds).
+func TestFleetServiceMatchesPlainOnSoloFleet(t *testing.T) {
+	solo := New(core.Options{
+		Solver: core.SolverCore,
+		Fleet:  fleet.Fleet{Servers: []fleet.Server{{ID: "solo"}}},
+	})
+	plain := New(core.Options{Solver: core.SolverCore})
+	tasks := []*task.Task{wireTask(1), heavyTask(2, 200), wireTask(3)}
+	for _, tk := range tasks {
+		if _, err := solo.Admit("t", tk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.Admit("t", tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sv, err := solo.Decision("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := plain.Decision("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.TotalExpected != pv.TotalExpected || sv.Theorem3 != pv.Theorem3 {
+		t.Fatalf("solo fleet differs from plain service:\n%+v\nvs\n%+v", sv, pv)
+	}
+	for i := range sv.Choices {
+		sc, pc := sv.Choices[i], pv.Choices[i]
+		if sc.Offload && sc.Server != "solo" {
+			t.Fatalf("solo choice %+v not attributed", sc)
+		}
+		sc.Server = ""
+		if sc != pc {
+			t.Fatalf("choice %d differs: %+v vs %+v", i, sc, pc)
+		}
+	}
+}

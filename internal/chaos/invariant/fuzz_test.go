@@ -22,3 +22,20 @@ func FuzzChaosHardGuarantee(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFleetHardGuarantee is the fleet twin: the fuzzer hunts for a
+// seed whose derived (task set × fleet × per-server fault schedule)
+// trial violates I1–I6. Pure function of the seed, so any crasher
+// reproduces exactly.
+func FuzzFleetHardGuarantee(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(0x5eed_c4a0_5001))
+	f.Add(^uint64(0))
+	f.Add(uint64(0xf1ee7))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := invariant.FleetCheck(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -47,6 +47,9 @@ const (
 	streamServer
 	streamChaos
 	streamSim
+	streamFleetSpec
+	streamFleetChaos
+	streamFleetServer
 )
 
 // Trial is one fully resolved randomized trial: the generated system,
@@ -60,13 +63,67 @@ type Trial struct {
 	Horizon  rtime.Duration
 	Jitter   rtime.Duration
 
-	// serverKind selects the wrapped component model; serverSeed and
-	// serverCfg resolve it deterministically (newInner can be called
-	// any number of times and always builds an identical server).
-	serverKind int
-	serverSeed uint64
-	serverCfg  server.QueueConfig
-	fixedLat   rtime.Duration
+	// spec resolves the wrapped component model deterministically
+	// (newInner can be called any number of times and always builds an
+	// identical server).
+	spec componentSpec
+}
+
+// componentSpec is a fully resolved recipe for one unreliable
+// component: building it any number of times yields identically
+// seeded fresh instances. Fleet trials hold one spec per server.
+type componentSpec struct {
+	kind     int
+	seed     uint64
+	cfg      server.QueueConfig
+	fixedLat rtime.Duration
+}
+
+// randomComponent draws a component recipe spanning all four wrapped
+// models, with latency scales tied to the task periods.
+func randomComponent(rng *stats.RNG, maxPeriod rtime.Duration) componentSpec {
+	var sp componentSpec
+	sp.kind = rng.IntN(4)
+	sp.seed = rng.Uint64()
+	sp.fixedLat = rtime.Duration(rng.Int64N(int64(maxPeriod)) + 1)
+	sp.cfg = server.QueueConfig{
+		Workers:              1 + rng.IntN(3),
+		BandwidthBytesPerSec: 1_000_000 + rng.Int64N(9_000_000),
+		NetLatencyMean:       rtime.Duration(rng.Int64N(int64(rtime.FromMillis(8))) + 1),
+		NetLatencySigma:      rng.Float64(),
+		ServiceMean:          rtime.Duration(rng.Int64N(int64(rtime.FromMillis(20))) + 1),
+		ServiceRefBytes:      10_000,
+		ServiceJitter:        0.3 * rng.Float64(),
+		BackgroundRatePerSec: 40 * rng.Float64(),
+		BackgroundServiceMean: rtime.Duration(
+			rng.Int64N(int64(rtime.FromMillis(60))) + 1),
+		LossProbability: 0.2 * rng.Float64(),
+	}
+	return sp
+}
+
+// build constructs the component. Every call returns an identically
+// seeded fresh instance, which is what lets the all-pass identity
+// check run the same workload twice.
+func (sp componentSpec) build() (server.Server, error) {
+	switch sp.kind {
+	case 0:
+		return server.Fixed{Latency: sp.fixedLat}, nil
+	case 1:
+		return server.Fixed{Lost: true}, nil
+	case 2:
+		return server.NewQueue(stats.NewRNG(sp.seed), sp.cfg)
+	default:
+		// A reservation-backed component: latency capped at half the
+		// shortest budget in the set (when one exists), so the
+		// guaranteed-hit path gets exercised too.
+		bound := sp.fixedLat/2 + 1
+		inner, err := server.NewQueue(stats.NewRNG(sp.seed), sp.cfg)
+		if err != nil {
+			return nil, err
+		}
+		return server.Bounded{Inner: inner, Bound: bound}, nil
+	}
 }
 
 // NewTrial derives a randomized trial from its seed: a random task
@@ -77,19 +134,7 @@ type Trial struct {
 // guard stays for robustness).
 func NewTrial(seed uint64) (*Trial, bool, error) {
 	rng := stats.NewRNG(stats.DeriveSeed(seed, streamTaskSet))
-
-	params := task.RandomSetParams{
-		N:           2 + rng.IntN(5),
-		TotalUtil:   0.3 + 0.6*rng.Float64(),
-		PeriodLoMS:  20,
-		PeriodHiMS:  200,
-		Q:           1 + rng.IntN(3),
-		SetupFrac:   0.1 + 0.2*rng.Float64(),
-		RespLoFrac:  0.15 + 0.15*rng.Float64(),
-		RespHiFrac:  0.5 + 0.4*rng.Float64(),
-		BenefitBase: 1,
-	}
-	set, err := task.GenerateRandomSet(rng, params)
+	set, err := randomSet(rng)
 	if err != nil {
 		return nil, false, fmt.Errorf("invariant: seed %d: %w", seed, err)
 	}
@@ -123,22 +168,7 @@ func NewTrial(seed uint64) (*Trial, bool, error) {
 	}
 
 	srvRNG := stats.NewRNG(stats.DeriveSeed(seed, streamServer))
-	tr.serverKind = srvRNG.IntN(4)
-	tr.serverSeed = srvRNG.Uint64()
-	tr.fixedLat = rtime.Duration(srvRNG.Int64N(int64(maxPeriod)) + 1)
-	tr.serverCfg = server.QueueConfig{
-		Workers:              1 + srvRNG.IntN(3),
-		BandwidthBytesPerSec: 1_000_000 + srvRNG.Int64N(9_000_000),
-		NetLatencyMean:       rtime.Duration(srvRNG.Int64N(int64(rtime.FromMillis(8))) + 1),
-		NetLatencySigma:      srvRNG.Float64(),
-		ServiceMean:          rtime.Duration(srvRNG.Int64N(int64(rtime.FromMillis(20))) + 1),
-		ServiceRefBytes:      10_000,
-		ServiceJitter:        0.3 * srvRNG.Float64(),
-		BackgroundRatePerSec: 40 * srvRNG.Float64(),
-		BackgroundServiceMean: rtime.Duration(
-			srvRNG.Int64N(int64(rtime.FromMillis(60))) + 1),
-		LossProbability: 0.2 * srvRNG.Float64(),
-	}
+	tr.spec = randomComponent(srvRNG, maxPeriod)
 
 	chaosRNG := stats.NewRNG(stats.DeriveSeed(seed, streamChaos))
 	tr.Chaos = randomChaos(chaosRNG, maxPeriod)
@@ -148,6 +178,24 @@ func NewTrial(seed uint64) (*Trial, bool, error) {
 		tr.Jitter = rtime.Duration(simRNG.Int64N(int64(maxPeriod/4)) + 1)
 	}
 	return tr, true, nil
+}
+
+// randomSet draws the randomized task system shared by single-server
+// and fleet trials: UUniFast utilizations keep the all-local fallback
+// feasible, so admission can always return something to simulate.
+func randomSet(rng *stats.RNG) (task.Set, error) {
+	params := task.RandomSetParams{
+		N:           2 + rng.IntN(5),
+		TotalUtil:   0.3 + 0.6*rng.Float64(),
+		PeriodLoMS:  20,
+		PeriodHiMS:  200,
+		Q:           1 + rng.IntN(3),
+		SetupFrac:   0.1 + 0.2*rng.Float64(),
+		RespLoFrac:  0.15 + 0.15*rng.Float64(),
+		RespHiFrac:  0.5 + 0.4*rng.Float64(),
+		BenefitBase: 1,
+	}
+	return task.GenerateRandomSet(rng, params)
 }
 
 // randomChaos draws a fault configuration spanning all-pass to
@@ -198,28 +246,9 @@ func randomChaos(rng *stats.RNG, period rtime.Duration) chaos.Config {
 	return cfg
 }
 
-// newInner builds the trial's unreliable component. Every call
-// returns an identically seeded fresh instance, which is what lets
-// the all-pass identity check run the same workload twice.
+// newInner builds the trial's unreliable component from its spec.
 func (tr *Trial) newInner() (server.Server, error) {
-	switch tr.serverKind {
-	case 0:
-		return server.Fixed{Latency: tr.fixedLat}, nil
-	case 1:
-		return server.Fixed{Lost: true}, nil
-	case 2:
-		return server.NewQueue(stats.NewRNG(tr.serverSeed), tr.serverCfg)
-	default:
-		// A reservation-backed component: latency capped at half the
-		// shortest budget in the set (when one exists), so the
-		// guaranteed-hit path gets exercised too.
-		bound := tr.fixedLat/2 + 1
-		inner, err := server.NewQueue(stats.NewRNG(tr.serverSeed), tr.serverCfg)
-		if err != nil {
-			return nil, err
-		}
-		return server.Bounded{Inner: inner, Bound: bound}, nil
-	}
+	return tr.spec.build()
 }
 
 // SimConfig assembles the scheduler configuration around a server.

@@ -46,6 +46,11 @@ type Admission struct {
 	tasks task.Set
 	dec   *Decision
 
+	// origs holds the tasks as admitted when a fleet is configured;
+	// tasks then holds their fleet-expanded twins (the decision layer's
+	// working form). Nil without a fleet.
+	origs task.Set
+
 	// Per-task caches, index-aligned with tasks.
 	classes []mckp.Class
 	maps    [][]classMap
@@ -78,8 +83,14 @@ func NewAdmission(opts Options) *Admission {
 // successful Add).
 func (a *Admission) Decision() *Decision { return a.dec }
 
-// Tasks returns a copy of the currently admitted set.
-func (a *Admission) Tasks() task.Set { return a.tasks.Clone() }
+// Tasks returns a copy of the currently admitted set — the tasks as
+// the caller admitted them, before any fleet expansion.
+func (a *Admission) Tasks() task.Set {
+	if !a.opts.Fleet.Empty() {
+		return a.origs.Clone()
+	}
+	return a.tasks.Clone()
+}
 
 // Len returns the number of admitted tasks.
 func (a *Admission) Len() int { return len(a.tasks) }
@@ -90,6 +101,19 @@ func cloneTask(t *task.Task) *task.Task {
 	c := *t
 	c.Levels = append([]task.Level(nil), t.Levels...)
 	return &c
+}
+
+// expandForFleet maps an admitted task to its decision-layer form: the
+// fleet-expanded twin when a fleet is configured, the task itself
+// otherwise.
+func (a *Admission) expandForFleet(t *task.Task) (*task.Task, error) {
+	if a.opts.Fleet.Empty() {
+		return t, nil
+	}
+	if err := a.opts.Fleet.Validate(); err != nil {
+		return nil, err
+	}
+	return a.opts.Fleet.ExpandTask(t)
 }
 
 // Add admits a task if the grown system remains schedulable; on
@@ -105,9 +129,17 @@ func (a *Admission) Add(t *task.Task) error {
 	if a.tasks.ByID(t.ID) != nil {
 		return fmt.Errorf("core: task %d %w", t.ID, ErrAlreadyAdmitted)
 	}
-	t = cloneTask(t)
+	orig := cloneTask(t)
+	t, err := a.expandForFleet(orig)
+	if err != nil {
+		return fmt.Errorf("core: admission of task %d rejected: %w", orig.ID, err)
+	}
 	tc := buildTaskCache(t)
 	n := len(a.tasks)
+	origs := a.origs
+	if !a.opts.Fleet.Empty() {
+		origs = append(a.origs[:n:n], orig)
+	}
 	tasks := append(a.tasks[:n:n], t)
 	classes := append(a.classes[:n:n], tc.class)
 	maps := append(a.maps[:n:n], tc.cm)
@@ -117,7 +149,7 @@ func (a *Admission) Add(t *task.Task) error {
 	if err != nil {
 		return fmt.Errorf("core: admission of task %d rejected: %w", t.ID, err)
 	}
-	a.commit(tasks, classes, maps, locals, levels, dec, azd)
+	a.commit(origs, tasks, classes, maps, locals, levels, dec, azd)
 	return nil
 }
 
@@ -135,8 +167,17 @@ func (a *Admission) Update(t *task.Task) error {
 	if idx < 0 {
 		return fmt.Errorf("core: task %d %w", t.ID, ErrNotAdmitted)
 	}
-	t = cloneTask(t)
+	orig := cloneTask(t)
+	t, err := a.expandForFleet(orig)
+	if err != nil {
+		return fmt.Errorf("core: update of task %d rejected: %w", orig.ID, err)
+	}
 	tc := buildTaskCache(t)
+	origs := a.origs
+	if !a.opts.Fleet.Empty() {
+		origs = a.origs.Clone()
+		origs[idx] = orig
+	}
 	tasks := a.tasks.Clone()
 	tasks[idx] = t
 	classes := append([]mckp.Class(nil), a.classes...)
@@ -151,7 +192,7 @@ func (a *Admission) Update(t *task.Task) error {
 	if err != nil {
 		return fmt.Errorf("core: update of task %d rejected: %w", t.ID, err)
 	}
-	a.commit(tasks, classes, maps, locals, levels, dec, azd)
+	a.commit(origs, tasks, classes, maps, locals, levels, dec, azd)
 	return nil
 }
 
@@ -168,12 +209,16 @@ func (a *Admission) Remove(id int) (bool, error) {
 		return false, nil
 	}
 	if len(a.tasks) == 1 {
-		a.commit(nil, nil, nil, nil, nil, nil, nil)
+		a.commit(nil, nil, nil, nil, nil, nil, nil, nil)
 		a.az = nil
 		if a.mk != nil {
 			a.mk.Reset() // keep the arenas warm for the next admission
 		}
 		return true, nil
+	}
+	origs := a.origs
+	if !a.opts.Fleet.Empty() {
+		origs = append(a.origs[:idx:idx].Clone(), a.origs[idx+1:].Clone()...)
 	}
 	tasks := append(a.tasks[:idx:idx].Clone(), a.tasks[idx+1:].Clone()...)
 	classes := removeAt(a.classes, idx)
@@ -184,7 +229,7 @@ func (a *Admission) Remove(id int) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("core: re-decision after removing %d failed: %w", id, err)
 	}
-	a.commit(tasks, classes, maps, locals, levels, dec, azd)
+	a.commit(origs, tasks, classes, maps, locals, levels, dec, azd)
 	return true, nil
 }
 
@@ -206,8 +251,9 @@ func removeAt[T any](xs []T, i int) []T {
 }
 
 // commit installs a fully re-decided configuration.
-func (a *Admission) commit(tasks task.Set, classes []mckp.Class, maps [][]classMap,
+func (a *Admission) commit(origs, tasks task.Set, classes []mckp.Class, maps [][]classMap,
 	locals []dbf.Demand, levels [][]dbf.Demand, dec *Decision, azd []dbf.Demand) {
+	a.origs = origs
 	a.tasks = tasks
 	a.classes = classes
 	a.maps = maps
@@ -253,7 +299,14 @@ func (a *Admission) redecide(tasks task.Set, classes []mckp.Class, maps [][]clas
 	}
 	d := assembleDecision(tasks, maps, sol, a.opts.Solver)
 	theorem3 := func(cs []Choice) (*big.Rat, bool) { return theorem3Cached(cs, locals, levels) }
-	if err := repairDecision(d, theorem3); err != nil {
+	fleetOn := !a.opts.Fleet.Empty()
+	if fleetOn {
+		// Step-identical to decideFleet's repair: Theorem 3 first, then
+		// the exact capacity pools.
+		if err := repairFleetDecision(d, a.opts.Fleet, theorem3); err != nil {
+			return fail(err)
+		}
+	} else if err := repairDecision(d, theorem3); err != nil {
 		return fail(err)
 	}
 	if !a.opts.ExactUpgrade {
@@ -272,12 +325,19 @@ func (a *Admission) redecide(tasks task.Set, classes []mckp.Class, maps [][]clas
 		az = a.syncedAnalyzer(want, op)
 	}
 	if az != nil {
-		improveLoop(out, az, levels)
+		var guard func([]Choice, int, int) bool
+		if fleetOn {
+			guard = capacityGuard(a.opts.Fleet)
+		}
+		improveLoop(out, az, levels, guard)
 		want = demandsFromCaches(out.Choices, locals, levels)
 	}
 	a.az = az
 	total, _ := theorem3(out.Choices)
 	out.Theorem3Total = total
+	if fleetOn {
+		out.ServerLoads = decisionLoads(out.Choices, a.opts.Fleet)
+	}
 	return out, want, nil
 }
 

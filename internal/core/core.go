@@ -32,6 +32,7 @@ import (
 
 	"rtoffload/internal/benefit"
 	"rtoffload/internal/dbf"
+	"rtoffload/internal/fleet"
 	"rtoffload/internal/mckp"
 	"rtoffload/internal/rtime"
 	"rtoffload/internal/sched"
@@ -99,6 +100,13 @@ type Options struct {
 	// exceed 1 on the Theorem-3 scale. Online users (Admission) get the
 	// upgrade on every Add/Remove re-decision.
 	ExactUpgrade bool
+	// Fleet, when non-empty, expands every task's choice set across
+	// the fleet's servers: each probed budget becomes one
+	// (server, budget) point per server, with server-scaled budgets,
+	// reliability-discounted benefits, and per-server capacity pools
+	// enforced by an exact post-solve repair (see fleet.go). An empty
+	// Fleet runs the paper's single-server path untouched.
+	Fleet fleet.Fleet
 }
 
 // Choice is the decision for one task.
@@ -140,13 +148,34 @@ type Decision struct {
 	// such decisions may legitimately have Theorem3Total > 1. See
 	// ImproveWithExact.
 	ExactVerified bool
+	// ServerLoads is the exact per-pool capacity account of a fleet
+	// decision (one entry per fleet server, then per group), certified
+	// within capacity by the repair pass. Nil for single-server
+	// decisions — its presence marks the decision as fleet-expanded.
+	ServerLoads []fleet.Load
 }
 
-// Assignments converts the decision into scheduler assignments.
+// Assignments converts the decision into scheduler assignments. Fleet
+// decisions carry fleet-expanded tasks whose cross-server point sets
+// intentionally violate Task.Validate's benefit monotonicity; each is
+// pruned here to its single chosen point (or no points for local
+// execution) so the scheduler's validation sees an ordinary task
+// routed to the chosen server.
 func (d *Decision) Assignments() []sched.Assignment {
 	out := make([]sched.Assignment, len(d.Choices))
 	for i, c := range d.Choices {
-		out[i] = sched.Assignment{Task: c.Task, Offload: c.Offload, Level: c.Level}
+		t, lvl := c.Task, c.Level
+		if d.ServerLoads != nil {
+			p := *t
+			if c.Offload {
+				p.Levels = []task.Level{t.Levels[c.Level]}
+				lvl = 0
+			} else {
+				p.Levels = nil
+			}
+			t = &p
+		}
+		out[i] = sched.Assignment{Task: t, Offload: c.Offload, Level: lvl}
 	}
 	return out
 }
@@ -247,6 +276,9 @@ func buildInstance(set task.Set) (*mckp.Instance, [][]classMap, error) {
 // schedulability test. The returned decision always satisfies the
 // exact rational Theorem-3 test.
 func Decide(set task.Set, opts Options) (*Decision, error) {
+	if !opts.Fleet.Empty() {
+		return decideFleet(set, opts)
+	}
 	if err := set.Validate(); err != nil {
 		return nil, err
 	}

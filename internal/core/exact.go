@@ -64,7 +64,7 @@ func ImproveWithExact(d *Decision, set task.Set) (*Decision, error) {
 		ExactVerified: true,
 	}
 	if az, levelDemands, err := newUpgradeState(out.Choices); err == nil {
-		improveLoop(out, az, levelDemands)
+		improveLoop(out, az, levelDemands, nil)
 	}
 	total, _ := theorem3Of(out.Choices)
 	out.Theorem3Total = total
@@ -101,8 +101,11 @@ func newUpgradeState(choices []Choice) (*dbf.Analyzer, [][]dbf.Demand, error) {
 }
 
 // improveLoop applies the greedy best-gain upgrade until no candidate
-// passes the exact test, keeping the Analyzer in sync with out.
-func improveLoop(out *Decision, az *dbf.Analyzer, levelDemands [][]dbf.Demand) {
+// passes the exact test, keeping the Analyzer in sync with out. A
+// non-nil guard vetoes candidates before the feasibility probe — the
+// fleet path uses it to keep upgrades within the capacity pools.
+func improveLoop(out *Decision, az *dbf.Analyzer, levelDemands [][]dbf.Demand,
+	guard func(choices []Choice, i, lv int) bool) {
 	feasible := (*dbf.Analyzer).Feasible
 	for {
 		bestIdx, bestLevel := -1, 0
@@ -123,6 +126,9 @@ func improveLoop(out *Decision, az *dbf.Analyzer, levelDemands [][]dbf.Demand) {
 				}
 				cand := levelDemands[i][lv]
 				if cand == nil {
+					continue
+				}
+				if guard != nil && !guard(out.Choices, i, lv) {
 					continue
 				}
 				if az.With(i, cand, feasible) != nil {

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+
+	"rtoffload/internal/fleet"
+	"rtoffload/internal/rtime"
+	"rtoffload/internal/task"
+)
+
+// This file generalizes the Offloading Decision Manager to a fleet of
+// timing-unreliable servers (Options.Fleet). The pipeline is the
+// paper's, run over the fleet-expanded choice sets:
+//
+//  1. fleet.ExpandSet turns every probed budget into one
+//     (server, budget) point per server — server-scaled budgets,
+//     reliability-discounted benefits, ServerID routing.
+//  2. The MCKP solvers and the exact Theorem-3 repair run unchanged
+//     over the expanded classes (a point is just a level).
+//  3. A capacity repair pass then enforces the per-server and
+//     per-group occupancy pools exactly: over-capacity pools are
+//     drained by rerouting choices to alternative points that keep
+//     Theorem 3 satisfied, falling back to downgrading the
+//     cheapest-loss choice to local execution.
+//  4. With ExactUpgrade, the QPA upgrade runs with a capacity guard so
+//     upgrades never push a pool over its cap.
+//
+// A 1-server neutral fleet reproduces the single-server pipeline
+// bit-for-bit (the expansion is verbatim and the capacity pass finds
+// nothing to do) — fleet_diff_test.go proves this differentially.
+
+// decideFleet is Decide's fleet path: expand, solve, repair Theorem 3,
+// repair capacity, optionally exact-upgrade under the capacity guard.
+func decideFleet(set task.Set, opts Options) (*Decision, error) {
+	if err := opts.Fleet.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if len(set) == 0 {
+		return nil, errors.New("core: empty task set")
+	}
+	derived, err := opts.Fleet.ExpandSet(set)
+	if err != nil {
+		return nil, err
+	}
+	in, maps, err := buildInstance(derived)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := solveMCKP(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := assembleDecision(derived, maps, sol, opts.Solver)
+	if err := repairFleetDecision(d, opts.Fleet, theorem3Of); err != nil {
+		return nil, err
+	}
+	if !opts.ExactUpgrade {
+		return d, nil
+	}
+	// Mirror of ImproveWithExact, minus its set re-validation (expanded
+	// tasks intentionally break benefit monotonicity) and plus the
+	// capacity guard. The admission path in redecide must stay
+	// step-identical to this sequence.
+	out := &Decision{
+		Choices:       append([]Choice(nil), d.Choices...),
+		TotalExpected: d.TotalExpected,
+		Solver:        d.Solver,
+		Repaired:      d.Repaired,
+		ExactVerified: true,
+	}
+	if az, levelDemands, err := newUpgradeState(out.Choices); err == nil {
+		improveLoop(out, az, levelDemands, capacityGuard(opts.Fleet))
+	}
+	total, _ := theorem3Of(out.Choices)
+	out.Theorem3Total = total
+	out.ServerLoads = decisionLoads(out.Choices, opts.Fleet)
+	return out, nil
+}
+
+// decisionLoads folds the decision's offloaded choices into the
+// fleet's capacity pools: each choice contributes its exact occupancy
+// Ri/Ti and Theorem-3 weight to the server it routes to (and to that
+// server's group).
+func decisionLoads(choices []Choice, f fleet.Fleet) []fleet.Load {
+	us := make([]fleet.Usage, 0, len(choices))
+	for _, c := range choices {
+		if !c.Offload {
+			continue
+		}
+		t := c.Task
+		w, err := t.OffloadWeight(c.Level)
+		if err != nil {
+			w = new(big.Rat) // unreachable for certified choices
+		}
+		us = append(us, fleet.Usage{
+			Server:    t.Levels[c.Level].ServerID,
+			Occupancy: rtime.Ratio(t.Levels[c.Level].Response, t.Period),
+			Weight:    w,
+		})
+	}
+	return f.Accumulate(us)
+}
+
+// repairFleetDecision is the fleet decision's combined exact repair:
+// first the Theorem-3 repair (identical to the single-server pass),
+// then the capacity pools. While some pool is over capacity, the pass
+// reroutes the cheapest-loss choice off the violated pool onto an
+// alternative (server, budget) point — accepted only when the exact
+// Theorem-3 sum stays ≤ 1, every within-capacity pool stays within
+// capacity, and the violated pool's occupancy strictly decreases —
+// and, when no reroute qualifies, downgrades the cheapest-loss choice
+// on the violated pool to local execution and re-certifies Theorem 3.
+//
+// Termination: a pool that is within capacity never goes over again
+// (reroute targets are checked, downgrades only remove load), so the
+// set of violated pools only shrinks; each reroute strictly drains the
+// first violated pool and lands the task on a pool that stays
+// satisfied, and each downgrade strictly decreases the offloaded
+// count. The pass is deterministic — candidates are ordered by benefit
+// loss with index tie-breaks — which is what keeps the incremental
+// admission path bit-identical to a from-scratch Decide.
+func repairFleetDecision(d *Decision, f fleet.Fleet, theorem3 func([]Choice) (*big.Rat, bool)) error {
+	if err := repairDecision(d, theorem3); err != nil {
+		return err
+	}
+	for {
+		loads := decisionLoads(d.Choices, f)
+		oi := fleet.FirstOver(loads)
+		if oi < 0 {
+			d.ServerLoads = loads
+			return nil
+		}
+		if rerouteCheapest(d, f, loads, oi) {
+			continue
+		}
+		idx := cheapestDowngradeIn(d.Choices, f, loads[oi])
+		if idx < 0 {
+			return ErrInfeasible
+		}
+		c := &d.Choices[idx]
+		d.TotalExpected -= c.Expected
+		c.Offload = false
+		c.Level = 0
+		c.Expected = c.Task.EffectiveWeight() * c.Task.LocalBenefit
+		d.TotalExpected += c.Expected
+		d.Repaired++
+		if err := repairDecision(d, theorem3); err != nil {
+			return err
+		}
+	}
+}
+
+// contributes reports whether choice c (offloaded) routes load into
+// the given pool.
+func contributes(f fleet.Fleet, c Choice, pool fleet.Load) bool {
+	si := f.ServerIndex(c.Task.Levels[c.Level].ServerID)
+	if si < 0 {
+		return false
+	}
+	if pool.Server {
+		return f.Servers[si].ID == pool.Pool
+	}
+	return f.Servers[si].Group == pool.Pool
+}
+
+// rerouteCheapest moves one choice off the violated pool loads[oi]
+// onto the alternative point with the smallest expected-benefit loss
+// (ties: lower task index, then lower point index). It updates the
+// decision's objective and exact Theorem-3 total in place and reports
+// whether a qualifying reroute existed.
+func rerouteCheapest(d *Decision, f fleet.Fleet, loads []fleet.Load, oi int) bool {
+	bestIdx, bestLv := -1, 0
+	bestLoss := 0.0
+	var bestW *big.Rat
+	for i, c := range d.Choices {
+		if !c.Offload || !contributes(f, c, loads[oi]) {
+			continue
+		}
+		t := c.Task
+		wOld, err := t.OffloadWeight(c.Level)
+		if err != nil {
+			continue
+		}
+		for lv := range t.Levels {
+			if lv == c.Level {
+				continue
+			}
+			wNew, err := t.OffloadWeight(lv)
+			if err != nil {
+				continue
+			}
+			if _, err := demandOf(Choice{Task: t, Offload: true, Level: lv}); err != nil {
+				continue // no valid split model: theorem3 would reject it
+			}
+			total := new(big.Rat).Sub(d.Theorem3Total, wOld)
+			total.Add(total, wNew)
+			if total.Cmp(ratOne) > 0 {
+				continue
+			}
+			if !moveKeepsPools(d, f, loads, oi, i, lv) {
+				continue
+			}
+			loss := c.Expected - t.EffectiveWeight()*t.Levels[lv].Benefit
+			if bestIdx == -1 || loss < bestLoss {
+				bestIdx, bestLv, bestLoss, bestW = i, lv, loss, total
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return false
+	}
+	c := &d.Choices[bestIdx]
+	d.TotalExpected -= c.Expected
+	c.Level = bestLv
+	c.Expected = c.Task.EffectiveWeight() * c.Task.Levels[bestLv].Benefit
+	d.TotalExpected += c.Expected
+	// Exact incremental update: big.Rat keeps the sum normalized, so
+	// the value matches a from-scratch dbf.Theorem3 evaluation.
+	d.Theorem3Total = bestW
+	return true
+}
+
+// moveKeepsPools simulates rerouting choice i to point lv and checks
+// the capacity conditions: the violated pool's occupancy strictly
+// decreases and no within-capacity pool goes over.
+func moveKeepsPools(d *Decision, f fleet.Fleet, loads []fleet.Load, oi, i, lv int) bool {
+	old := d.Choices[i]
+	d.Choices[i].Level = lv
+	after := decisionLoads(d.Choices, f)
+	d.Choices[i] = old
+	if after[oi].Occupancy.Cmp(loads[oi].Occupancy) >= 0 {
+		return false
+	}
+	for k := range after {
+		if !loads[k].Over() && after[k].Over() {
+			return false
+		}
+	}
+	return true
+}
+
+// cheapestDowngradeIn picks the offloaded choice contributing to the
+// given pool whose switch to local costs the least expected benefit;
+// −1 when the pool has no offloaded contributors.
+func cheapestDowngradeIn(choices []Choice, f fleet.Fleet, pool fleet.Load) int {
+	best, bestLoss := -1, 0.0
+	for i, c := range choices {
+		if !c.Offload || !contributes(f, c, pool) {
+			continue
+		}
+		loss := c.Expected - c.Task.EffectiveWeight()*c.Task.LocalBenefit
+		if best == -1 || loss < bestLoss {
+			best, bestLoss = i, loss
+		}
+	}
+	return best
+}
+
+// capacityGuard returns the exact-upgrade guard for a fleet: an
+// upgrade candidate is admissible only if routing choice i to point lv
+// leaves every capacity pool within its cap.
+func capacityGuard(f fleet.Fleet) func([]Choice, int, int) bool {
+	return func(choices []Choice, i, lv int) bool {
+		old := choices[i]
+		choices[i].Offload = true
+		choices[i].Level = lv
+		loads := decisionLoads(choices, f)
+		choices[i] = old
+		return fleet.FirstOver(loads) < 0
+	}
+}

@@ -41,7 +41,14 @@ type CampaignConfig struct {
 	Tasks    int // tasks per drawn system (default 32)
 
 	// Scenarios is the server axis (default Busy, NotBusy, Idle).
+	// Ignored when FleetScenarios is set.
 	Scenarios []server.Scenario
+	// FleetScenarios switches the campaign to multi-server fleet
+	// cells: the scenario axis becomes these named fleet stress
+	// shapes (see FleetScenarioNames), each cell admits its system
+	// through the fleet-aware decision manager and routes offloads
+	// across per-server fault injectors. Empty = single-server cells.
+	FleetScenarios []string
 	// FaultScales is the chaos axis: each value scales the heavy
 	// preset's fault probabilities (0 = fault-free; default 0, 0.5, 1).
 	FaultScales []float64
@@ -73,6 +80,10 @@ type CellResult struct {
 	Benefit  float64 `json:"benefit"`
 	CPUBusy  int64   `json:"cpu_busy_us"`
 	Makespan int64   `json:"makespan_us"`
+	// Offloaded counts the tasks the fleet decision routed to a
+	// server; always 0 (omitted) in single-server cells, whose
+	// systems are constructed without the decision manager.
+	Offloaded int `json:"offloaded,omitempty"`
 }
 
 // CampaignResult reports the completed cells in cell-index order plus
@@ -94,7 +105,7 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 	if c.Tasks == 0 {
 		c.Tasks = 32
 	}
-	if c.Scenarios == nil {
+	if c.Scenarios == nil && len(c.FleetScenarios) == 0 {
 		c.Scenarios = []server.Scenario{server.Busy, server.NotBusy, server.Idle}
 	}
 	if c.FaultScales == nil {
@@ -110,8 +121,13 @@ func (c CampaignConfig) validate() error {
 	if c.TaskSets <= 0 || c.Tasks <= 0 {
 		return fmt.Errorf("exp: campaign needs TaskSets and Tasks > 0")
 	}
-	if len(c.Scenarios) == 0 || len(c.FaultScales) == 0 {
+	if c.scenAxis() == 0 || len(c.FaultScales) == 0 {
 		return fmt.Errorf("exp: campaign needs non-empty scenario and fault axes")
+	}
+	for _, name := range c.FleetScenarios {
+		if _, err := fleetFor(name); err != nil {
+			return err
+		}
 	}
 	for _, x := range c.FaultScales {
 		if x < 0 {
@@ -127,10 +143,27 @@ func (c CampaignConfig) validate() error {
 	return nil
 }
 
+// scenAxis is the length of the scenario axis — fleet stress shapes
+// when the campaign runs in fleet mode, server scenarios otherwise.
+func (c CampaignConfig) scenAxis() int {
+	if len(c.FleetScenarios) > 0 {
+		return len(c.FleetScenarios)
+	}
+	return len(c.Scenarios)
+}
+
+// scenLabel names scenario-axis index si for tables and records.
+func (c CampaignConfig) scenLabel(si int) string {
+	if len(c.FleetScenarios) > 0 {
+		return c.FleetScenarios[si]
+	}
+	return c.Scenarios[si].String()
+}
+
 // cells is the grid size; cell indices are fault-minor:
-// cell = (ts·|Scenarios| + si)·|FaultScales| + fi.
+// cell = (ts·|scenario axis| + si)·|FaultScales| + fi.
 func (c CampaignConfig) cells() int {
-	return c.TaskSets * len(c.Scenarios) * len(c.FaultScales)
+	return c.TaskSets * c.scenAxis() * len(c.FaultScales)
 }
 
 // campaignHeader is the checkpoint's first line: the campaign's
@@ -144,6 +177,10 @@ type campaignHeader struct {
 	Scenarios []string  `json:"scenarios"`
 	Faults    []float64 `json:"faults"`
 	HorizonUS int64     `json:"horizon_us"`
+	// Fleet is the fleet-scenario axis; omitted for single-server
+	// campaigns so their headers stay byte-identical to pre-fleet
+	// checkpoints.
+	Fleet []string `json:"fleet,omitempty"`
 }
 
 const campaignMagic = "rtoffload-campaign/1"
@@ -161,6 +198,7 @@ func (c CampaignConfig) headerLine() ([]byte, error) {
 		Scenarios: names,
 		Faults:    c.FaultScales,
 		HorizonUS: int64(c.Horizon),
+		Fleet:     c.FleetScenarios,
 	})
 }
 
@@ -316,6 +354,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 // of the horizon. Every RNG stream derives from (Seed, ts, si, fi),
 // never from execution order.
 func (c CampaignConfig) runCell(cell int, base chaos.Config) (CellResult, error) {
+	if len(c.FleetScenarios) > 0 {
+		return c.runFleetCell(cell, base)
+	}
 	nf, ns := len(c.FaultScales), len(c.Scenarios)
 	fi := cell % nf
 	si := (cell / nf) % ns
@@ -404,36 +445,46 @@ func WriteCampaignTable(w io.Writer, r *CampaignResult) error {
 		return fmt.Errorf("exp: campaign incomplete: %d/%d cells", len(r.Cells), r.Total)
 	}
 	cfg := r.Config
-	nf := len(cfg.FaultScales)
+	nf, ns := len(cfg.FaultScales), cfg.scenAxis()
+	fleetMode := len(cfg.FleetScenarios) > 0
 	var rows [][]string
-	for si := range cfg.Scenarios {
+	for si := 0; si < ns; si++ {
 		for fi := range cfg.FaultScales {
-			var cells, jobs, finished, misses int
+			var cells, jobs, finished, misses, offloaded int
 			var benefit float64
 			for ts := 0; ts < cfg.TaskSets; ts++ {
-				cell := (ts*len(cfg.Scenarios)+si)*nf + fi
+				cell := (ts*ns+si)*nf + fi
 				rec := r.Cells[cell]
 				cells++
 				jobs += rec.Jobs
 				finished += rec.Finished
 				misses += rec.Misses
+				offloaded += rec.Offloaded
 				benefit += rec.Benefit
 			}
 			missRate := 0.0
 			if jobs > 0 {
 				missRate = float64(misses) / float64(jobs)
 			}
-			rows = append(rows, []string{
-				cfg.Scenarios[si].String(),
+			row := []string{
+				cfg.scenLabel(si),
 				fmt.Sprintf("%.2f", cfg.FaultScales[fi]),
 				fmt.Sprintf("%d", cells),
 				fmt.Sprintf("%d", jobs),
 				fmt.Sprintf("%d", misses),
 				fmt.Sprintf("%.4f", missRate),
 				fmt.Sprintf("%.4f", benefit/float64(cells)),
-			})
+			}
+			if fleetMode {
+				row = append(row, fmt.Sprintf("%d", offloaded))
+			}
+			rows = append(rows, row)
 		}
 	}
-	return WriteTable(w,
-		[]string{"Scenario", "Fault", "Cells", "Jobs", "Misses", "MissRate", "Benefit"}, rows)
+	header := []string{"Scenario", "Fault", "Cells", "Jobs", "Misses", "MissRate", "Benefit"}
+	if fleetMode {
+		header[0] = "Fleet"
+		header = append(header, "Offl")
+	}
+	return WriteTable(w, header, rows)
 }

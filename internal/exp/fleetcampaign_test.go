@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtoffload/internal/rtime"
+)
+
+// smallFleetCampaign is a 20-cell fleet grid tiny enough for a unit
+// test yet spanning every fleet stress shape.
+func smallFleetCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:           0x9e2,
+		TaskSets:       2,
+		Tasks:          10,
+		FleetScenarios: FleetScenarioNames(),
+		FaultScales:    []float64{0, 0.75},
+		Horizon:        rtime.FromMillis(400),
+		Parallel:       2,
+	}
+}
+
+// TestFleetCampaignResumeByteIdentical extends the kill-and-resume
+// differential to fleet mode: interrupt via Limit, resume from the
+// checkpoint, and the table must equal an uninterrupted run's bytes.
+func TestFleetCampaignResumeByteIdentical(t *testing.T) {
+	cfg := smallFleetCampaign()
+	want := tableBytes(t, cfg)
+
+	ck := cfg
+	ck.Checkpoint = filepath.Join(t.TempDir(), "fleet.jsonl")
+	ck.Limit = 4
+	part, err := RunCampaign(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Complete() || part.Computed != 4 {
+		t.Fatalf("limited run: complete=%v computed=%d", part.Complete(), part.Computed)
+	}
+	ck.Limit = 0
+	full, err := RunCampaign(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete() || full.Resumed != 4 {
+		t.Fatalf("resumed run: complete=%v resumed=%d", full.Complete(), full.Resumed)
+	}
+	var buf bytes.Buffer
+	if err := WriteCampaignTable(&buf, full); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("resumed fleet table diverges:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFleetCampaignWorkerCountInvariance pins determinism for fleet
+// cells: the table depends only on the config, never on fan-out.
+func TestFleetCampaignWorkerCountInvariance(t *testing.T) {
+	seq := smallFleetCampaign()
+	seq.Parallel = 1
+	wide := smallFleetCampaign()
+	wide.Parallel = 8
+	if a, b := tableBytes(t, seq), tableBytes(t, wide); !bytes.Equal(a, b) {
+		t.Fatalf("worker count changed the fleet table:\n%s\nvs:\n%s", a, b)
+	}
+}
+
+// TestFleetCampaignCheckpointDistinct proves a single-server
+// checkpoint cannot be resumed by a fleet campaign (and vice versa):
+// the header's fleet axis is part of the campaign identity.
+func TestFleetCampaignCheckpointDistinct(t *testing.T) {
+	plain := smallCampaign()
+	plain.Checkpoint = filepath.Join(t.TempDir(), "ck.jsonl")
+	plain.Limit = 2
+	if _, err := RunCampaign(plain); err != nil {
+		t.Fatal(err)
+	}
+	fl := smallFleetCampaign()
+	fl.Seed = plain.Seed
+	fl.TaskSets = plain.TaskSets
+	fl.Tasks = plain.Tasks
+	fl.Checkpoint = plain.Checkpoint
+	if _, err := RunCampaign(fl); err == nil ||
+		!strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("fleet campaign resumed a single-server checkpoint: %v", err)
+	}
+}
+
+// TestFleetCampaignRejectsUnknownScenario pins axis validation.
+func TestFleetCampaignRejectsUnknownScenario(t *testing.T) {
+	cfg := smallFleetCampaign()
+	cfg.FleetScenarios = []string{"uniform", "nonsense"}
+	if _, err := RunCampaign(cfg); err == nil ||
+		!strings.Contains(err.Error(), "unknown fleet scenario") {
+		t.Fatalf("unknown fleet scenario accepted: %v", err)
+	}
+}
+
+// TestFleetCampaignCellRecords sanity-checks fleet cells: every cell
+// ran jobs, missed nothing (the hard guarantee extends to fleets),
+// admitted a nonzero number of offloads, and fault-free uniform cells
+// beat the all-local baseline.
+func TestFleetCampaignCellRecords(t *testing.T) {
+	res, err := RunCampaign(smallFleetCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		if c.Cell != i {
+			t.Fatalf("cell %d recorded as %d", i, c.Cell)
+		}
+		if c.Jobs <= 0 || c.Finished <= 0 {
+			t.Fatalf("fleet cell %d simulated nothing: %+v", i, c)
+		}
+		if c.Misses != 0 {
+			t.Fatalf("fleet cell %d missed %d deadlines: %+v", i, c.Misses, c)
+		}
+		if c.Offloaded <= 0 {
+			t.Fatalf("fleet cell %d admitted no offloads: %+v", i, c)
+		}
+		if c.Scenario == "uniform" && c.Fault == 0 && c.Benefit <= 1 {
+			t.Fatalf("fault-free uniform cell %d gained no benefit: %+v", i, c)
+		}
+	}
+}

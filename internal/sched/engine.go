@@ -201,6 +201,9 @@ func (s *sim) init() {
 			in.d1 = d1
 		}
 		s.stats[i] = TaskStats{TaskID: t.ID}
+		if a.Offload {
+			s.stats[i].ServerID = t.Levels[a.Level].ServerID
+		}
 		s.res.PerTask[t.ID] = &s.stats[i]
 		est += int(cfg.Horizon/t.Period) + 1
 		if span := rtime.Duration(rtime.MaxInstant(rtime.Instant(t.Period), rtime.Instant(t.Deadline))); span > maxSpan {

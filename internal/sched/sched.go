@@ -271,7 +271,12 @@ type JobResult struct {
 
 // TaskStats aggregates per-task counters.
 type TaskStats struct {
-	TaskID        int
+	TaskID int
+	// ServerID records which server the task's offloaded sub-jobs are
+	// routed to (the assignment level's ServerID; empty for the
+	// default server or for local-only tasks). Fleet runs use it to
+	// attribute per-server traffic in results and traces.
+	ServerID      string
 	Released      int
 	Finished      int
 	Misses        int

@@ -136,3 +136,20 @@ func (g *Gilbert) Respond(issue rtime.Instant, _ int, _ int64) Response {
 	}
 	return Response{Latency: lat, Arrives: true}
 }
+
+// FailAfter wraps a server that fails permanently at a given instant —
+// the fleet failover scenario. Requests issued at or after At never
+// return (the client's compensation timer covers every outstanding
+// claim, so the hard guarantee is unaffected; only the benefit drops).
+type FailAfter struct {
+	Inner Server
+	At    rtime.Instant
+}
+
+// Respond implements Server.
+func (f FailAfter) Respond(issue rtime.Instant, taskID int, payloadBytes int64) Response {
+	if issue >= f.At {
+		return Response{}
+	}
+	return f.Inner.Respond(issue, taskID, payloadBytes)
+}
